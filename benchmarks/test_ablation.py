@@ -1,0 +1,35 @@
+"""Ablation benches for PICOLA's design choices (DESIGN.md exp. A-D).
+
+Measures total constraint-implementation cubes for each PICOLA
+variant over the quick FSM subset: guides on/off, dynamic vs static
+classification, objective presets, final repair, beam width.
+
+Run:  pytest benchmarks/test_ablation.py --benchmark-only
+"""
+
+import pytest
+
+from repro.harness import ABLATION_VARIANTS, run_ablation
+
+ABLATION_FSMS = ["bbara", "ex3", "lion9", "dk16", "keyb", "ex2", "donfile"]
+
+
+@pytest.mark.parametrize("variant", sorted(ABLATION_VARIANTS))
+def test_ablation_variant(benchmark, variant):
+    def run():
+        return run_ablation(ABLATION_FSMS, [variant])
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = report.total(variant)
+    assert total > 0
+    print(f"\n[Ablation] {variant}: total cubes = {total}")
+
+
+def test_ablation_summary(benchmark):
+    def run():
+        return run_ablation(ABLATION_FSMS)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + report.render())
+    # guide constraints should not hurt (Section 3.2's claim)
+    assert report.total("full") <= report.total("no_guides") + 2

@@ -1,0 +1,34 @@
+"""Espresso on the classic arithmetic PLAs of the literature.
+
+rd53/rd73/xor5/adr4/sqr4/maj5 are the standard two-level minimization
+probes; the published espresso results are known, so this bench is a
+direct quality regression on our minimizer: parity is asserted exactly
+(its minimum SOP is 2^(n-1) terms by theory), the rest within a small
+slack of the published counts.
+
+Run:  pytest benchmarks/test_espresso_classics.py --benchmark-only
+"""
+
+import pytest
+
+from repro.espresso import CLASSICS, espresso_pla, verify_pla_minimization
+
+#: allowed slack over the published espresso cube counts
+SLACK = {"rd53": 0, "rd73": 0, "xor5": 0, "adr4": 2, "sqr4": 3, "maj5": 0}
+
+
+@pytest.mark.parametrize("name", sorted(CLASSICS))
+def test_classic_function(benchmark, name):
+    make, reference = CLASSICS[name]
+    pla = make()
+
+    def run():
+        return espresso_pla(pla)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    verify_pla_minimization(pla, out)
+    print(
+        f"\n[Classics] {name}: {pla.num_terms()} minterms -> "
+        f"{out.num_terms()} cubes (published {reference})"
+    )
+    assert out.num_terms() <= reference + SLACK[name]

@@ -1,0 +1,62 @@
+"""Extension bench: the full state-assignment tool zoo.
+
+Beyond the paper's Table II (NOVA i/io-hybrid vs the NEW tool), this
+bench adds the other classic encoder families — MUSTANG's
+adjacency-driven assignment (p and n variants), pure greedy NOVA, and
+the trivial natural/gray strawmen — under the identical two-level cost
+model.  The expected picture: face-constraint-driven tools (PICOLA,
+NOVA) lead; adjacency-driven MUSTANG trails them on two-level size
+(it optimizes for multi-level sharing); the strawmen trail everything.
+
+Run:  pytest benchmarks/test_extensions.py --benchmark-only
+"""
+
+import pytest
+
+from repro.encoding import derive_face_constraints
+from repro.fsm import load_benchmark
+from repro.stateassign import assign_states
+
+EXT_FSMS = ["dk16", "donfile", "ex2", "keyb", "tma", "s386"]
+EXT_METHODS = [
+    "picola", "nova_ih", "nova_greedy", "mustang_p", "mustang_n",
+    "natural", "gray",
+]
+
+
+@pytest.mark.parametrize("method", EXT_METHODS)
+def test_method_total_size(benchmark, method):
+    def run():
+        total = 0
+        for name in EXT_FSMS:
+            fsm = load_benchmark(name)
+            cset = derive_face_constraints(fsm)
+            total += assign_states(
+                fsm, method, constraints=cset, seed=1
+            ).size
+        return total
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[Extensions] {method}: total size = {total}")
+    assert total > 0
+
+
+def test_tool_ranking(benchmark):
+    """Face-driven tools should beat the strawmen in total size."""
+
+    def run():
+        totals = {}
+        for method in ["picola", "mustang_n", "natural"]:
+            totals[method] = 0
+            for name in EXT_FSMS:
+                fsm = load_benchmark(name)
+                cset = derive_face_constraints(fsm)
+                totals[method] += assign_states(
+                    fsm, method, constraints=cset, seed=1
+                ).size
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[Extensions] totals: {totals}")
+    assert totals["picola"] <= totals["natural"]
+    assert totals["picola"] <= totals["mustang_n"] * 1.05

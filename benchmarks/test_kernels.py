@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the substrates: cube kernel, espresso, PICOLA.
+
+These are honest throughput numbers (ops/sec) for the pieces the
+tables are built from; regressions here blow up the table runtimes.
+
+Run:  pytest benchmarks/test_kernels.py --benchmark-only
+"""
+
+import random
+
+import pytest
+
+from repro.cubes import Space, complement, tautology
+from repro.core import picola_encode
+from repro.encoding import ConstraintSet, FaceConstraint, derive_face_constraints
+from repro.espresso import espresso
+from repro.fsm import encode_fsm, load_benchmark
+from repro.stateassign import assign_states
+
+
+def _random_cover(space, n_cubes, seed, dash=0.3):
+    rng = random.Random(seed)
+    cover = []
+    for _ in range(n_cubes):
+        fields = []
+        for part in range(space.num_parts - 1):
+            fields.append(3 if rng.random() < dash else rng.choice([1, 2]))
+        fields.append(1 << rng.randrange(space.part_sizes[-1]))
+        cover.append(space.make_cube(fields))
+    return cover
+
+
+def test_bench_complement(benchmark):
+    space = Space.binary(12, 6)
+    cover = _random_cover(space, 80, seed=3)
+    result = benchmark(lambda: complement(space, cover))
+    assert result
+
+
+def test_bench_tautology(benchmark):
+    space = Space.binary(14)
+    half = space.parse_cube("0" + "-" * 13)
+    other = space.parse_cube("1" + "-" * 13)
+    assert benchmark(lambda: tautology(space, [half, other]))
+
+
+def test_bench_espresso_medium(benchmark):
+    space = Space.binary(10, 6)
+    cover = _random_cover(space, 60, seed=5)
+    result = benchmark.pedantic(
+        lambda: espresso(space, cover), rounds=3, iterations=1
+    )
+    assert len(result) <= 60
+
+
+def test_bench_symbolic_minimization(benchmark):
+    fsm = load_benchmark("keyb")
+    cset = benchmark.pedantic(
+        lambda: derive_face_constraints(fsm), rounds=3, iterations=1
+    )
+    assert len(cset.nontrivial()) > 0
+
+
+def test_bench_picola_encode(benchmark):
+    fsm = load_benchmark("keyb")
+    cset = derive_face_constraints(fsm)
+    result = benchmark.pedantic(
+        lambda: picola_encode(cset), rounds=3, iterations=1
+    )
+    assert result.encoding.is_injective()
+
+
+def test_bench_full_state_assignment(benchmark):
+    fsm = load_benchmark("bbara")
+    result = benchmark.pedantic(
+        lambda: assign_states(fsm, "picola"), rounds=1, iterations=1
+    )
+    assert result.size > 0

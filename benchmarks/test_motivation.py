@@ -1,0 +1,62 @@
+"""The paper's motivating trade-off: code length vs implementation cost.
+
+Section 1 argues that satisfying the *complete* face-constraint set
+usually needs more than ``ceil(log2 n)`` code bits, and the longer
+codes eat the area gains — hence the minimum-length partial problem.
+This bench regenerates that argument as data: for each FSM it sweeps
+the code length from the minimum upward and reports satisfied
+constraints, cubes, and the area proxy (cubes x 2nv), plus the
+minimum fully-satisfying length.
+
+Run:  pytest benchmarks/test_motivation.py --benchmark-only
+"""
+
+import pytest
+
+from repro.encoding import (
+    derive_face_constraints,
+    length_tradeoff,
+    minimum_satisfying_length,
+)
+from repro.fsm import load_benchmark
+
+MOTIVATION_FSMS = ["bbara", "ex3", "lion9", "dk16", "keyb"]
+
+
+@pytest.mark.parametrize("fsm", MOTIVATION_FSMS)
+def test_length_tradeoff(benchmark, fsm):
+    cset = derive_face_constraints(load_benchmark(fsm))
+
+    def run():
+        return length_tradeoff(cset, max_extra_bits=2)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[Motivation] {fsm}:")
+    for p in points:
+        print(
+            f"  nv={p.nv}: satisfied {p.satisfied}/{p.total}, "
+            f"cubes={p.cubes}, area~{p.area_proxy}"
+        )
+    # satisfaction must not degrade with more bits
+    assert points[-1].satisfied >= points[0].satisfied
+
+
+def test_minimum_satisfying_length(benchmark):
+    def run():
+        out = {}
+        for fsm in MOTIVATION_FSMS:
+            cset = derive_face_constraints(load_benchmark(fsm))
+            out[fsm] = (cset.min_code_length(),
+                        minimum_satisfying_length(cset, max_extra_bits=4))
+        return out
+
+    lengths = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[Motivation] minimum fully-satisfying length:")
+    for fsm, (base, full) in lengths.items():
+        extra = "unknown (>+4)" if full is None else f"+{full - base}"
+        print(f"  {fsm}: min {base} bits, full embedding {extra}")
+    # at least one machine should need extra bits — that is the
+    # paper's whole motivation for the partial problem
+    assert any(
+        full is None or full > base for base, full in lengths.values()
+    )

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: encode eight symbols under face constraints.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FaceConstraint, picola_encode
+from repro.encoding import ConstraintSet, evaluate_encoding
+
+# Eight opcode classes; groups that must share a face of the code
+# cube so each symbolic implicant stays a single product term.
+symbols = ["add", "sub", "and", "or", "load", "store", "jump", "call"]
+constraints = [
+    FaceConstraint({"add", "sub"}),            # arithmetic pair
+    FaceConstraint({"and", "or"}),             # logic pair
+    FaceConstraint({"load", "store"}),         # memory pair
+    FaceConstraint({"add", "sub", "and", "or"}),  # ALU quad
+    FaceConstraint({"jump", "call"}),          # control pair
+]
+
+cset = ConstraintSet(symbols, constraints)
+result = picola_encode(cset)
+
+print("Minimum-length encoding (nv = %d bits):" % result.encoding.n_bits)
+print(result.encoding.as_table())
+print()
+print("Outcome:", result.summary())
+
+report = evaluate_encoding(result.encoding, cset)
+print()
+print("Per-constraint implementation cost:")
+for score in report.scores:
+    status = "satisfied" if score.satisfied else (
+        "violated, intruders: " + ", ".join(score.intruders)
+    )
+    members = ",".join(sorted(score.constraint.symbols))
+    print(f"  {{{members}}}: {score.cubes} cube(s) [{status}]")
+print()
+print(f"Total: {report.total_cubes} product terms for "
+      f"{report.n_constraints} constraints "
+      f"({report.n_satisfied} satisfied)")

@@ -1,0 +1,167 @@
+"""A MUSTANG-style baseline (Devadas et al., TCAD 1988).
+
+MUSTANG targets multi-level implementations: it never looks at face
+constraints at all.  Instead it builds a weighted *attraction graph*
+over the states — fan-out attraction (states driven to the same next
+state under the same conditions) and fan-in attraction (states feeding
+the same successors / asserting the same outputs) — and then embeds
+the graph in the code hypercube so that strongly attracted states get
+codes at small Hamming distance, maximizing shared cube factors.
+
+Included here because it is the era's other canonical state-assignment
+tool and a useful contrast in the benches: an encoder that optimizes
+*adjacency* rather than *faces* trails both NOVA and PICOLA under the
+two-level cost model of the paper, which is exactly the point the
+input-encoding line of work makes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..encoding.codes import Encoding
+from ..fsm import Fsm
+from .nova import state_affinity
+
+__all__ = ["MustangResult", "mustang_encode", "attraction_graph"]
+
+
+@dataclass
+class MustangResult:
+    encoding: Encoding
+    attraction: float  # realized weighted adjacency score
+    variant: str
+
+
+def attraction_graph(
+    fsm: Fsm, variant: str = "p"
+) -> Dict[Tuple[str, str], float]:
+    """MUSTANG's attraction weights between state pairs.
+
+    ``variant='p'`` (fan-out oriented) weighs common successors and
+    common asserted outputs; ``variant='n'`` (fan-in oriented) weighs
+    pairs of states that appear together as predecessors of the same
+    state.  Both reuse the transition statistics of
+    :func:`repro.baselines.nova.state_affinity` plus a fan-in term.
+    """
+    if variant not in ("p", "n"):
+        raise ValueError(f"unknown MUSTANG variant {variant!r}")
+    weights: Dict[Tuple[str, str], float] = {}
+    if variant == "p":
+        for pair, w in state_affinity(fsm).items():
+            weights[pair] = weights.get(pair, 0.0) + w
+        return weights
+    # fan-in: predecessors of a common successor attract each other
+    fanin: Dict[str, List[str]] = {}
+    for t in fsm.transitions:
+        if t.present == "*" or t.next == "*":
+            continue
+        fanin.setdefault(t.next, []).append(t.present)
+    for preds in fanin.values():
+        uniq = sorted(set(preds))
+        for i, a in enumerate(uniq):
+            for b in uniq[i + 1 :]:
+                weights[(a, b)] = weights.get((a, b), 0.0) + (
+                    preds.count(a) + preds.count(b)
+                ) / 2.0
+    return weights
+
+
+def _adjacency_score(
+    codes: Mapping[str, int],
+    weights: Mapping[Tuple[str, str], float],
+    nv: int,
+) -> float:
+    total = 0.0
+    for (a, b), w in weights.items():
+        dist = bin(codes[a] ^ codes[b]).count("1")
+        total += w * (nv - dist)
+    return total
+
+
+def mustang_encode(
+    fsm: Fsm,
+    nv: Optional[int] = None,
+    *,
+    variant: str = "p",
+    seed: int = 0,
+    anneal_moves: int = 3000,
+) -> MustangResult:
+    """Adjacency-driven minimum-length encoding of the FSM's states."""
+    states = fsm.states
+    if nv is None:
+        nv = fsm.min_code_length()
+    if (1 << nv) < len(states):
+        raise ValueError("code length too small")
+    weights = attraction_graph(fsm, variant)
+    rng = random.Random(seed)
+
+    # greedy seed: place states in decreasing attraction-degree order,
+    # each on the free code closest to its already-placed attractors
+    degree: Dict[str, float] = {s: 0.0 for s in states}
+    for (a, b), w in weights.items():
+        degree[a] += w
+        degree[b] += w
+    order = sorted(states, key=lambda s: (-degree[s], s))
+    codes: Dict[str, int] = {}
+    free = set(range(1 << nv))
+    for s in order:
+        best_code = None
+        best_gain = None
+        for code in sorted(free):
+            gain = 0.0
+            for (a, b), w in weights.items():
+                other = None
+                if a == s and b in codes:
+                    other = codes[b]
+                elif b == s and a in codes:
+                    other = codes[a]
+                if other is None:
+                    continue
+                gain += w * (nv - bin(code ^ other).count("1"))
+            if best_gain is None or gain > best_gain:
+                best_gain = gain
+                best_code = code
+        codes[s] = best_code if best_code is not None else min(free)
+        free.discard(codes[s])
+
+    # annealing polish on pairwise swaps
+    current = _adjacency_score(codes, weights, nv)
+    best = dict(codes)
+    best_score = current
+    temperature = max(1.0, current / 10 + 1)
+    all_codes = list(range(1 << nv))
+    for _ in range(anneal_moves):
+        s = states[rng.randrange(len(states))]
+        target = all_codes[rng.randrange(len(all_codes))]
+        owner = next(
+            (t for t in states if codes[t] == target), None
+        )
+        if owner is s:
+            continue
+        old = codes[s]
+        codes[s] = target
+        if owner is not None:
+            codes[owner] = old
+        candidate = _adjacency_score(codes, weights, nv)
+        delta = candidate - current
+        if delta >= 0 or rng.random() < math.exp(delta / temperature):
+            current = candidate
+            if current > best_score:
+                best_score = current
+                best = dict(codes)
+        else:
+            codes[s] = old
+            if owner is not None:
+                codes[owner] = target
+        temperature = max(temperature * 0.996, 0.05)
+
+    encoding = Encoding(states, best, nv)
+    return MustangResult(
+        encoding=encoding,
+        attraction=best_score,
+        variant=variant,
+    )

@@ -1,0 +1,71 @@
+"""Trivial minimum-length encoders: natural, Gray, seeded random."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..encoding.codes import Encoding
+from ..encoding.constraints import ConstraintSet
+
+__all__ = ["natural_encoding", "gray_encoding", "random_encoding",
+           "best_random_encoding"]
+
+
+def _nv(symbols: Sequence[str], nv: Optional[int]) -> int:
+    if nv is None:
+        nv = max(1, (len(symbols) - 1).bit_length())
+    if (1 << nv) < len(symbols):
+        raise ValueError("code length too small")
+    return nv
+
+
+def natural_encoding(
+    symbols: Sequence[str], nv: Optional[int] = None
+) -> Encoding:
+    """Symbols numbered in order of appearance."""
+    nv = _nv(symbols, nv)
+    return Encoding.from_code_list(symbols, list(range(len(symbols))), nv)
+
+
+def gray_encoding(
+    symbols: Sequence[str], nv: Optional[int] = None
+) -> Encoding:
+    """Successive symbols get adjacent (Hamming-distance-1) codes."""
+    nv = _nv(symbols, nv)
+    return Encoding.from_code_list(
+        symbols, [i ^ (i >> 1) for i in range(len(symbols))], nv
+    )
+
+
+def random_encoding(
+    symbols: Sequence[str], nv: Optional[int] = None, seed: int = 0
+) -> Encoding:
+    nv = _nv(symbols, nv)
+    rng = random.Random(seed)
+    codes = rng.sample(range(1 << nv), len(symbols))
+    return Encoding.from_code_list(symbols, codes, nv)
+
+
+def best_random_encoding(
+    cset: ConstraintSet,
+    nv: Optional[int] = None,
+    trials: int = 32,
+    seed: int = 0,
+) -> Encoding:
+    """Best of ``trials`` random encodings by satisfied-constraint count."""
+    nv = _nv(cset.symbols, nv)
+    best: Optional[Encoding] = None
+    best_score = -1
+    for t in range(trials):
+        enc = random_encoding(cset.symbols, nv, seed=seed * 7919 + t)
+        score = sum(
+            c.weight
+            for c in cset.nontrivial()
+            if enc.satisfies(c.symbols)
+        )
+        if score > best_score:
+            best_score = score
+            best = enc
+    assert best is not None
+    return best

@@ -1,0 +1,27 @@
+"""The paper's contribution: PICOLA and its supporting theory."""
+
+from .analysis import ConstraintDiagnosis, RunAnalysis, analyze_result
+from .classify import capacity_feasible, classify, nv_compatible
+from .guides import guide_constraint, implementation_cubes, theorem1_cubes
+from .picola import PicolaOptions, PicolaResult, picola_encode
+from .solve import PrefixGroups, generate_column
+from .weights import PRESETS, WeightPolicy
+
+__all__ = [
+    "ConstraintDiagnosis",
+    "RunAnalysis",
+    "analyze_result",
+    "capacity_feasible",
+    "classify",
+    "nv_compatible",
+    "guide_constraint",
+    "implementation_cubes",
+    "theorem1_cubes",
+    "PicolaOptions",
+    "PicolaResult",
+    "picola_encode",
+    "PrefixGroups",
+    "generate_column",
+    "PRESETS",
+    "WeightPolicy",
+]

@@ -1,0 +1,178 @@
+"""Classify(): dynamic detection of infeasible constraints.
+
+Section 3.3 of the paper.  Before each code column is generated, every
+still-unsatisfied constraint is checked against (a) the capacity of
+the minimum-length code space and (b) *nv-compatibility* with each
+already-satisfied constraint.  A constraint that fails is infeasible —
+no completion of the partial encoding can satisfy it — and is
+substituted by its guide constraint.
+
+The nv-compatibility test is the paper's Theorem of Section 3.3.1:
+two constraints can hold simultaneously in ``B^nv`` only if cube
+dimensions ``d_A, d_B, d_AB`` exist with
+
+    d_A + d_B - d_AB  <=  nv                      (dimension formula)
+
+subject to Conditions I (a proper son needs a strictly smaller cube,
+an equal son an equal one) and II (``dc(son) <= dc(father)``), and —
+for disjoint constraints — the capacity test
+``dc(L_A) + dc(L_B) <= dc(S)``.
+
+All dimension lower bounds are *dynamic*: they take into account the
+columns generated so far through the constraint-matrix marks (a column
+in which members disagree forces the final supercube one dimension
+larger).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..encoding.matrix import ConstraintMatrix, ConstraintRow
+
+__all__ = ["classify", "nv_compatible", "capacity_feasible"]
+
+
+def _father_dims_ok(
+    size_f: int,
+    size_son: int,
+    dim_f: int,
+    dim_meet: int,
+    is_whole_father: bool,
+) -> bool:
+    """Conditions I and II for one father against the meet cube.
+
+    ``is_whole_father`` marks the case where the father's symbol set
+    IS the shared set (A subset of B): then the father's cube is the
+    meet cube itself and the dimensions must agree.
+    """
+    if is_whole_father:
+        return dim_f == dim_meet
+    if dim_f <= dim_meet:
+        return False  # Condition I: a proper subset needs less room
+    # Condition II: dc(meet) <= dc(father)
+    return (1 << dim_meet) - size_son <= (1 << dim_f) - size_f
+
+
+def nv_compatible(
+    row_a: ConstraintRow,
+    row_b: ConstraintRow,
+    nv: int,
+    n_symbols: int,
+) -> bool:
+    """Can both constraints still be satisfied together in B^nv?
+
+    The faces of two satisfied constraints intersect in a cube (the
+    *meet*): it contains the shared symbols and possibly unused codes,
+    so its dimension can exceed ``ceil(log2 |son|)``.  The test
+    searches all consistent dimension assignments ``(d_meet, d_A,
+    d_B)`` subject to Conditions I/II, the dimension formula
+    ``d_A + d_B - d_meet <= nv``, and the unused-code capacity
+    ``dc(A) + dc(B) - dc(meet) <= dc(S)``; the pair is incompatible
+    only when no assignment works.  (Being exhaustive keeps the check
+    *sound*: it never kills a satisfiable pair — property-tested
+    against brute force in tests/test_theory_properties.py.)
+    """
+    members_a = row_a.members
+    members_b = row_b.members
+    son = members_a & members_b
+    size_a, size_b, size_son = len(members_a), len(members_b), len(son)
+    dim_a_min = max(row_a.dim_min(nv), (size_a - 1).bit_length())
+    dim_b_min = max(row_b.dim_min(nv), (size_b - 1).bit_length())
+    dc_total = (1 << nv) - n_symbols
+
+    # option 1: disjoint faces (only possible with no shared symbols)
+    if not son:
+        for dim_a in range(dim_a_min, nv):
+            for dim_b in range(dim_b_min, nv):
+                dc_a = (1 << dim_a) - size_a
+                dc_b = (1 << dim_b) - size_b
+                if dc_a + dc_b <= dc_total:
+                    return True
+
+    # option 2: intersecting faces meeting in a cube of dim d_meet
+    meet_min = (size_son - 1).bit_length() if size_son else 0
+    for dim_meet in range(meet_min, nv + 1):
+        if (1 << dim_meet) < size_son:
+            continue
+        for dim_a in range(dim_a_min, nv + 1):
+            if not _father_dims_ok(
+                size_a, size_son, dim_a, dim_meet, son == members_a
+            ):
+                continue
+            for dim_b in range(dim_b_min, nv + 1):
+                if not _father_dims_ok(
+                    size_b, size_son, dim_b, dim_meet,
+                    son == members_b,
+                ):
+                    continue
+                if dim_a + dim_b - dim_meet > nv:
+                    continue
+                waste = (
+                    ((1 << dim_a) - size_a)
+                    + ((1 << dim_b) - size_b)
+                    - ((1 << dim_meet) - size_son)
+                )
+                if 0 <= waste <= dc_total:
+                    return True
+    return False
+
+
+def capacity_feasible(
+    row: ConstraintRow, nv: int, n_symbols: int
+) -> bool:
+    """Single-constraint feasibility in B^nv given the current marks.
+
+    The implementing cube wastes ``2^dim - |L|`` codes which must all
+    be genuinely unused, and there must be enough not-yet-generated
+    columns for the face to exclude its remaining intruders.
+    """
+    dim_min = row.dim_min(nv)
+    if dim_min > nv:
+        return False
+    waste = (1 << dim_min) - len(row.members)
+    if waste > (1 << nv) - n_symbols:
+        return False
+    remaining_columns = nv - len(row.agree_columns) - len(
+        row.disagree_columns
+    )
+    if row.intruders() and remaining_columns <= 0:
+        return False
+    # dimension budget: each participating column shrinks the face by
+    # one dimension, and the face must keep >= log2|L| free columns.
+    # Once the budget is spent, remaining intruders can never be cut.
+    allowed_agree = nv - row.constraint.min_dimension()
+    if row.intruders() and len(row.agree_columns) >= allowed_agree:
+        return False
+    return True
+
+
+def classify(
+    matrix: ConstraintMatrix,
+) -> List[ConstraintRow]:
+    """Mark newly infeasible rows; return them (guides not yet added).
+
+    Implements the paper's rule: a satisfied constraint freezes part
+    of the code space, and every active constraint that is not
+    nv-compatible with it — or that fails the capacity test on its
+    own — can never be satisfied and should be guided instead.
+    """
+    nv = matrix.nv
+    n = len(matrix.symbols)
+    satisfied = [r for r in matrix.active_rows() if r.satisfied()]
+    newly_infeasible: List[ConstraintRow] = []
+    for row in matrix.active_rows():
+        if row.satisfied():
+            continue
+        if not capacity_feasible(row, nv, n):
+            row.infeasible = True
+            newly_infeasible.append(row)
+            continue
+        for done in satisfied:
+            if done is row:
+                continue
+            if not nv_compatible(row, done, nv, n):
+                row.infeasible = True
+                newly_infeasible.append(row)
+                break
+    return newly_infeasible

@@ -1,0 +1,97 @@
+"""Guide constraints and the Theorem I cube construction (Section 3.2).
+
+Theorem I: let ``L`` be a face constraint with intruder set ``I``.  If
+the codes of the intruders form a cube (``super(I)``) that intersects
+no member code, then ``L`` is implementable with
+
+    dim[super(L)] - dim[super(I)]
+
+cubes.  The proof is constructive: let ``M`` be the bit positions
+fixed in ``super(I)`` but free in ``super(L)``; for every ``m`` in
+``M`` emit the cube obtained from ``super(I)`` by complementing ``m``
+and freeing the remaining positions of ``M``.
+
+Satisfying the *guide constraint* — the group constraint on ``I`` —
+during the rest of the encoding is precisely what makes this
+construction applicable, which is why PICOLA substitutes infeasible
+constraints by their guides.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..encoding.codes import Encoding, face_of
+from ..encoding.constraints import FaceConstraint
+from ..encoding.matrix import ConstraintRow
+
+__all__ = ["guide_constraint", "theorem1_cubes", "implementation_cubes"]
+
+
+def guide_constraint(row: ConstraintRow) -> Optional[FaceConstraint]:
+    """The guide constraint of an infeasible row (None when pointless).
+
+    Guiding needs at least two intruders (a single symbol is always a
+    0-cube on its own) and the guide must itself be a *proper* subset
+    of the symbol universe to constrain anything.
+    """
+    intruders = row.intruders()
+    if len(intruders) < 2:
+        return None
+    if len(intruders) > max(len(row.members), 8):
+        # a guide on a huge intruder set (e.g. a constraint classified
+        # infeasible before any column narrowed it) constrains nothing
+        # useful; the infeasible row itself keeps steering instead
+        return None
+    return FaceConstraint(
+        intruders,
+        kind="guide",
+        parent=row.members,
+        weight=row.constraint.weight,
+    )
+
+
+def theorem1_cubes(
+    encoding: Encoding,
+    members: Sequence[str],
+    intruders: Sequence[str],
+) -> Optional[List[Tuple[int, int]]]:
+    """The Theorem I cover of ``members`` as ``(mask, value)`` cubes.
+
+    Returns None when the theorem's hypothesis fails (the intruders'
+    supercube touches a member code).  Each returned cube is a face
+    ``(fixed_mask, fixed_value)`` of the code space; together they
+    cover every member code and exclude every intruder code.
+    """
+    if not intruders:
+        mask, value = encoding.face(members)
+        return [(mask, value)]
+    nv = encoding.n_bits
+    mask_l, value_l = encoding.face(members)
+    mask_i, value_i = face_of(
+        (encoding.code_of(s) for s in intruders), nv
+    )
+    # hypothesis: super(I) must not contain any member code
+    for s in members:
+        if not (encoding.code_of(s) ^ value_i) & mask_i:
+            return None
+    # M: positions fixed in super(I) but free in super(L)
+    m_positions = mask_i & ~mask_l
+    cubes: List[Tuple[int, int]] = []
+    bits = m_positions
+    while bits:
+        bit = bits & -bits
+        bits &= bits - 1
+        # start from super(I), complement this literal, free the rest of M
+        mask = (mask_i & ~m_positions) | bit
+        value = (value_i ^ bit) & mask
+        cubes.append((mask, value))
+    return cubes
+
+
+def implementation_cubes(
+    encoding: Encoding, members: Sequence[str]
+) -> Optional[List[Tuple[int, int]]]:
+    """Theorem I applied to the *current* intruders of ``members``."""
+    intruders = encoding.intruders(frozenset(members))
+    return theorem1_cubes(encoding, members, intruders)

@@ -1,0 +1,209 @@
+"""Final repair: local search on the finished encoding.
+
+The column generator commits to one column at a time; a cheap
+post-pass over the complete encoding (swapping code pairs and moving
+symbols to unused codes) recovers most of what that myopia loses.
+The objective is the same weighted constraint-satisfaction measure
+that drives the columns — satisfied faces first, then the fraction of
+outsiders already excluded — so the pass never trades a satisfied
+constraint for partial progress elsewhere.
+
+This pass is an implementation liberty on top of the paper's
+pseudocode (the paper's cost function is unpublished; see DESIGN.md);
+``PicolaOptions(final_repair=False)`` disables it, and the ablation
+bench measures its contribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..encoding.codes import Encoding, face_of
+from ..encoding.constraints import ConstraintSet, FaceConstraint
+from .weights import WeightPolicy
+
+__all__ = ["polish_encoding", "satisfaction_cost_score"]
+
+#: credit for excluding outsiders from a violated constraint's face
+_PARTIAL = 0.3
+#: weight of the Theorem I cost estimate relative to satisfaction
+_COST = 0.12
+
+
+def _constraint_score(
+    members_idx: Sequence[int],
+    codes: Sequence[int],
+    nv: int,
+    weight: float,
+    member_mask: Sequence[bool],
+) -> float:
+    """Satisfaction first, estimated implementation cost as tie-break.
+
+    A satisfied constraint scores full credit.  A violated one earns
+    partial credit for every outsider already excluded from its face,
+    minus a term proportional to its estimated cube cost: the paper's
+    Theorem I bound ``dim[super(L)] - dim[super(I)]`` when the
+    intruders' supercube avoids the members, a pessimistic
+    per-intruder count otherwise.  Maximizing this both chases
+    satisfied faces (NOVA's objective) and keeps violated constraints
+    cheap to implement (PICOLA's).
+    """
+    mask, value = face_of((codes[i] for i in members_idx), nv)
+    intruder_codes = [
+        code
+        for i, code in enumerate(codes)
+        if not member_mask[i] and not (code ^ value) & mask
+    ]
+    outsiders = len(codes) - len(members_idx)
+    if not intruder_codes:
+        return weight * (1.0 - _COST)
+    dim_l = nv - bin(mask).count("1")
+    mask_i, value_i = face_of(intruder_codes, nv)
+    hits_member = any(
+        not (codes[i] ^ value_i) & mask_i for i in members_idx
+    )
+    if hits_member:
+        estimate = min(1 + len(intruder_codes), len(members_idx))
+    else:
+        dim_i = nv - bin(mask_i).count("1")
+        estimate = max(dim_l - dim_i, 1)
+    partial = _PARTIAL * (1.0 - len(intruder_codes) / max(outsiders, 1))
+    return weight * (partial - _COST * estimate)
+
+
+def satisfaction_cost_score(
+    encoding: Encoding, cset: ConstraintSet
+) -> float:
+    """Total :func:`_constraint_score` of an encoding (higher = better)."""
+    symbols = list(encoding.symbols)
+    index = {s: i for i, s in enumerate(symbols)}
+    codes = [encoding.code_of(s) for s in symbols]
+    total = 0.0
+    for c in cset.nontrivial():
+        members_idx = [index[s] for s in c.symbols]
+        mask = [False] * len(symbols)
+        for s in c.symbols:
+            mask[index[s]] = True
+        total += _constraint_score(
+            members_idx, codes, encoding.n_bits, c.weight, mask
+        )
+    return total
+
+
+def polish_encoding(
+    encoding: Encoding,
+    cset: ConstraintSet,
+    policy: Optional[WeightPolicy] = None,
+    max_sweeps: int = 4,
+) -> Encoding:
+    """Hill-climb over code swaps/moves; returns a (possibly) new
+    encoding with at least the same weighted satisfaction score."""
+    if policy is None:
+        policy = WeightPolicy()
+    symbols = list(encoding.symbols)
+    index = {s: i for i, s in enumerate(symbols)}
+    nv = encoding.n_bits
+    codes: List[int] = [encoding.code_of(s) for s in symbols]
+    constraints = cset.nontrivial()
+    if not constraints:
+        return encoding
+
+    members_idx = [
+        [index[s] for s in c.symbols] for c in constraints
+    ]
+    member_mask = []
+    for c in constraints:
+        mask = [False] * len(symbols)
+        for s in c.symbols:
+            mask[index[s]] = True
+        member_mask.append(mask)
+    weights = [c.weight for c in constraints]
+    touching: List[List[int]] = [[] for _ in symbols]
+    for k, idxs in enumerate(members_idx):
+        for i in idxs:
+            touching[i].append(k)
+
+    def score_all() -> List[float]:
+        return [
+            _constraint_score(
+                members_idx[k], codes, nv, weights[k], member_mask[k]
+            )
+            for k in range(len(constraints))
+        ]
+
+    scores = score_all()
+    unused = [c for c in range(1 << nv) if c not in set(codes)]
+
+    def affected(i: int, j: Optional[int], old_codes: Tuple[int, ...]
+                 ) -> List[int]:
+        """Constraints whose score can change under the move."""
+        ks = set(touching[i])
+        if j is not None:
+            ks.update(touching[j])
+        # constraints whose face currently contains a moved code can
+        # gain/lose an intruder even when neither symbol is a member
+        moved = set(old_codes)
+        moved.add(codes[i])
+        if j is not None:
+            moved.add(codes[j])
+        for k in range(len(constraints)):
+            if k in ks:
+                continue
+            mask, value = face_of(
+                (codes[m] for m in members_idx[k]), nv
+            )
+            if any(not (c ^ value) & mask for c in moved):
+                ks.add(k)
+        return sorted(ks)
+
+    n = len(symbols)
+    for _ in range(max_sweeps):
+        improved = False
+        # pair swaps where at least one side touches a constraint
+        for i in range(n):
+            for j in range(i + 1, n):
+                if not touching[i] and not touching[j]:
+                    continue
+                old = (codes[i], codes[j])
+                codes[i], codes[j] = codes[j], codes[i]
+                ks = affected(i, j, old)
+                delta = 0.0
+                new_scores = {}
+                for k in ks:
+                    new_scores[k] = _constraint_score(
+                        members_idx[k], codes, nv, weights[k],
+                        member_mask[k],
+                    )
+                    delta += new_scores[k] - scores[k]
+                if delta > 1e-9:
+                    for k, v in new_scores.items():
+                        scores[k] = v
+                    improved = True
+                else:
+                    codes[i], codes[j] = old
+        # moves to unused codes
+        for i in range(n):
+            if not touching[i]:
+                continue
+            for slot in range(len(unused)):
+                old_code = codes[i]
+                codes[i] = unused[slot]
+                ks = affected(i, None, (old_code,))
+                delta = 0.0
+                new_scores = {}
+                for k in ks:
+                    new_scores[k] = _constraint_score(
+                        members_idx[k], codes, nv, weights[k],
+                        member_mask[k],
+                    )
+                    delta += new_scores[k] - scores[k]
+                if delta > 1e-9:
+                    unused[slot] = old_code
+                    for k, v in new_scores.items():
+                        scores[k] = v
+                    improved = True
+                else:
+                    codes[i] = old_code
+        if not improved:
+            break
+    return Encoding.from_code_list(symbols, codes, nv)

@@ -1,0 +1,50 @@
+"""Positional-cube algebra: the multi-valued kernel under everything.
+
+Public surface:
+
+* :class:`Space` — part layout of a (multi-valued) Boolean space.
+* :class:`Cover` — list of cubes + space, with set semantics.
+* the free functions in :mod:`repro.cubes.cube` for single-cube math.
+"""
+
+from .complement import absorb, complement
+from .cover import Cover
+from .cube import (
+    active_parts,
+    consensus,
+    contains,
+    cofactor,
+    cube_complement,
+    cube_size,
+    distance,
+    free_part_count,
+    intersect,
+    is_void,
+    sharp,
+    strictly_contains,
+    supercube,
+)
+from .space import Space
+from .tautology import cover_contains_cube, tautology
+
+__all__ = [
+    "Space",
+    "Cover",
+    "absorb",
+    "complement",
+    "tautology",
+    "cover_contains_cube",
+    "active_parts",
+    "consensus",
+    "contains",
+    "cofactor",
+    "cube_complement",
+    "cube_size",
+    "distance",
+    "free_part_count",
+    "intersect",
+    "is_void",
+    "sharp",
+    "strictly_contains",
+    "supercube",
+]

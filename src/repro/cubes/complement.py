@@ -1,0 +1,98 @@
+"""Cover complementation via the unate recursive paradigm.
+
+``complement(space, cover)`` returns a cover of the set of minterms NOT
+covered by ``cover``.  The recursion is the classic one:
+
+    ~f  =  OR over values v of the splitting part:  (x = v) & ~(f | x=v)
+
+with base cases for the empty cover (universe), a universe row (empty)
+and a single cube (De Morgan).  Results are absorbed (single-cube
+containment) on the way up to keep intermediate covers small.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .cube import cube_complement
+from .space import Space
+
+__all__ = ["complement", "absorb"]
+
+
+def absorb(cover: List[int]) -> List[int]:
+    """Remove cubes contained in another cube of the cover (in place).
+
+    Sorting by descending popcount means a cube can only be absorbed by
+    an earlier one, giving a single quadratic pass with early exits.
+    """
+    cover.sort(key=_popcount, reverse=True)
+    result: List[int] = []
+    for cube in cover:
+        for big in result:
+            if not cube & ~big:
+                break
+        else:
+            result.append(cube)
+    return result
+
+
+def _popcount(x: int) -> int:
+    return bin(x).count("1")
+
+
+def _select_binate_part(space: Space, cover: Sequence[int]) -> int:
+    best_part = 0
+    best_score = -1
+    for part, mask in enumerate(space.part_masks):
+        score = 0
+        for cube in cover:
+            if cube & mask != mask:
+                score += 1
+        if score > best_score:
+            best_score = score
+            best_part = part
+    return best_part
+
+
+def complement(space: Space, cover: Sequence[int]) -> List[int]:
+    """Cover of the complement of ``cover``."""
+    universe = space.universe
+    if not cover:
+        return [universe]
+    for cube in cover:
+        if cube == universe:
+            return []
+    if len(cover) == 1:
+        return cube_complement(space, cover[0])
+
+    part = _select_binate_part(space, cover)
+    mask = space.part_masks[part]
+    offset = space.offsets[part]
+    result: List[int] = []
+    for value in range(space.part_sizes[part]):
+        bit = 1 << (offset + value)
+        branch = [cube | mask for cube in cover if cube & bit]
+        selector = (universe & ~mask) | bit
+        for piece in complement(space, branch):
+            result.append(piece & selector)
+    # full absorption is quadratic; on huge intermediate covers we keep
+    # only the cheap merge (redundant cubes are harmless to callers,
+    # they just cost a little extra work downstream)
+    if len(result) <= 256:
+        result = absorb(result)
+    return _merge_part(space, part, result)
+
+
+def _merge_part(space: Space, part: int, cover: List[int]) -> List[int]:
+    """Merge cubes identical outside ``part`` by OR-ing their fields.
+
+    This undoes the fragmentation introduced by splitting on ``part``
+    and often collapses the 2+ branches back into single cubes.
+    """
+    mask = space.part_masks[part]
+    merged = {}
+    for cube in cover:
+        key = cube & ~mask
+        merged[key] = merged.get(key, 0) | (cube & mask)
+    return [key | field for key, field in merged.items()]

@@ -1,0 +1,154 @@
+"""A convenience wrapper bundling a list of cubes with their space.
+
+Hot paths inside the minimizer work on bare ``List[int]``; :class:`Cover`
+is the friendly public face used by examples, tests and the higher-level
+encoding code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from . import cube as _cube
+from .complement import absorb, complement
+from .space import Space
+from .tautology import cover_contains_cube, tautology
+
+__all__ = ["Cover"]
+
+
+class Cover:
+    """An ordered collection of cubes over a :class:`Space`."""
+
+    __slots__ = ("space", "cubes")
+
+    def __init__(self, space: Space, cubes: Optional[Iterable[int]] = None):
+        self.space = space
+        self.cubes: List[int] = list(cubes or [])
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_strings(cls, space: Space, rows: Iterable[str]) -> "Cover":
+        return cls(space, [space.parse_cube(row) for row in rows])
+
+    @classmethod
+    def universe(cls, space: Space) -> "Cover":
+        return cls(space, [space.universe])
+
+    @classmethod
+    def empty(cls, space: Space) -> "Cover":
+        return cls(space, [])
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.cubes)
+
+    def __contains__(self, cube: int) -> bool:
+        return cube in self.cubes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cover):
+            return NotImplemented
+        return self.space == other.space and sorted(self.cubes) == sorted(
+            other.cubes
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely hashed
+        return hash((self.space, tuple(sorted(self.cubes))))
+
+    def add(self, cube: int) -> None:
+        self.cubes.append(cube)
+
+    def copy(self) -> "Cover":
+        return Cover(self.space, self.cubes)
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+    def is_tautology(self) -> bool:
+        return tautology(self.space, self.cubes)
+
+    def contains_cube(self, cube: int) -> bool:
+        return cover_contains_cube(self.space, self.cubes, cube)
+
+    def contains_cover(self, other: "Cover") -> bool:
+        return all(self.contains_cube(c) for c in other.cubes)
+
+    def equivalent(self, other: "Cover") -> bool:
+        return self.contains_cover(other) and other.contains_cover(self)
+
+    def covers_minterm(self, minterm: int) -> bool:
+        return any(_cube.contains(c, minterm) for c in self.cubes)
+
+    def complemented(self) -> "Cover":
+        return Cover(self.space, complement(self.space, self.cubes))
+
+    def absorbed(self) -> "Cover":
+        return Cover(self.space, absorb(list(self.cubes)))
+
+    def intersected(self, other: "Cover") -> "Cover":
+        result: List[int] = []
+        for a in self.cubes:
+            for b in other.cubes:
+                c = _cube.intersect(self.space, a, b)
+                if c:
+                    result.append(c)
+        return Cover(self.space, absorb(result))
+
+    def union(self, other: "Cover") -> "Cover":
+        self._check_space(other)
+        return Cover(self.space, absorb(self.cubes + other.cubes))
+
+    def difference(self, other: "Cover") -> "Cover":
+        """Set difference via intersection with the complement."""
+        self._check_space(other)
+        return self.intersected(other.complemented())
+
+    def _check_space(self, other: "Cover") -> None:
+        if self.space != other.space:
+            raise ValueError("covers live in different spaces")
+
+    # operator sugar
+    def __or__(self, other: "Cover") -> "Cover":
+        return self.union(other)
+
+    def __and__(self, other: "Cover") -> "Cover":
+        self._check_space(other)
+        return self.intersected(other)
+
+    def __sub__(self, other: "Cover") -> "Cover":
+        return self.difference(other)
+
+    def __invert__(self) -> "Cover":
+        return self.complemented()
+
+    def supercube(self) -> int:
+        return _cube.supercube(self.cubes)
+
+    def minterm_count(self) -> int:
+        """Number of distinct minterms covered (exact, via disjoint sharp)."""
+        disjoint: List[int] = []
+        for cube in self.cubes:
+            pieces = [cube]
+            for seen in disjoint:
+                nxt: List[int] = []
+                for piece in pieces:
+                    nxt.extend(_cube.sharp(self.space, piece, seen))
+                pieces = nxt
+                if not pieces:
+                    break
+            disjoint.extend(pieces)
+        return sum(_cube.cube_size(self.space, c) for c in disjoint)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        rows = ", ".join(self.space.format_cube(c) for c in self.cubes[:6])
+        extra = "" if len(self.cubes) <= 6 else f", ... {len(self.cubes)} total"
+        return f"Cover([{rows}{extra}])"

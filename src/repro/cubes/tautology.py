@@ -1,0 +1,117 @@
+"""Tautology checking via the unate recursive paradigm.
+
+``tautology(space, cover)`` decides whether a cover (list of int cubes)
+covers every minterm of the space.  The recursion cofactors against each
+value of the most *binate* part; cheap necessary/sufficient tests prune
+the vast majority of calls:
+
+* a universe cube in the cover  -> tautology,
+* an empty cover                -> not a tautology,
+* a part value admitted by no cube -> not a tautology (that column of
+  the positional matrix is all zero, so minterms taking that value are
+  uncovered),
+* a unate cover                 -> tautology iff it contains the
+  universe cube (Unate Covering theorem).
+
+The same routine powers cover containment: ``F`` contains a cube ``c``
+iff the cofactor of ``F`` against ``c`` is a tautology.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .space import Space
+
+__all__ = ["tautology", "cover_contains_cube"]
+
+
+def _select_binate_part(space: Space, cover: Sequence[int]) -> int:
+    """Part appearing non-full in the largest number of cubes.
+
+    Ties break toward the part whose most-popular missing value splits
+    the cover most evenly, which keeps the recursion shallow.
+    """
+    best_part = -1
+    best_score = -1
+    for part, mask in enumerate(space.part_masks):
+        score = 0
+        for cube in cover:
+            if cube & mask != mask:
+                score += 1
+        if score > best_score:
+            best_score = score
+            best_part = part
+    return best_part
+
+
+def _is_unate(space: Space, cover: Sequence[int]) -> bool:
+    """True when, in every part, all non-full fields are identical.
+
+    For binary parts this is exactly single-polarity (unate) appearance;
+    for multi-valued parts it is a sufficient condition under which the
+    unate tautology theorem still applies.
+    """
+    for mask in space.part_masks:
+        seen = -1
+        for cube in cover:
+            field = cube & mask
+            if field != mask:
+                if seen < 0:
+                    seen = field
+                elif field != seen:
+                    return False
+    return True
+
+
+def tautology(space: Space, cover: Sequence[int]) -> bool:
+    """Does ``cover`` cover every minterm of ``space``?"""
+    universe = space.universe
+    stack: List[List[int]] = [list(cover)]
+    while stack:
+        cur = stack.pop()
+        if not cur:
+            return False
+        union = 0
+        found_universe = False
+        for cube in cur:
+            union |= cube
+            if cube == universe:
+                found_universe = True
+                break
+        if found_universe:
+            continue
+        if union != universe:
+            return False  # some column is empty
+        if _is_unate(space, cur):
+            return False  # unate without a universe row
+        part = _select_binate_part(space, cur)
+        mask = space.part_masks[part]
+        not_mask = universe & ~mask
+        offset = space.offsets[part]
+        for value in range(space.part_sizes[part]):
+            bit = 1 << (offset + value)
+            branch: List[int] = []
+            for cube in cur:
+                if cube & bit:
+                    # cofactor: this part raised to full
+                    branch.append(cube | mask)
+            stack.append(branch)
+    return True
+
+
+def cover_contains_cube(space: Space, cover: Sequence[int], cube: int) -> bool:
+    """True when the union of ``cover`` contains every minterm of ``cube``."""
+    if not cube:
+        return True
+    lifted = space.universe & ~cube
+    cof = [c | lifted for c in cover if _intersects(space, c, cube)]
+    return tautology(space, cof)
+
+
+def _intersects(space: Space, a: int, b: int) -> bool:
+    c = a & b
+    for mask in space.part_masks:
+        if not c & mask:
+            return False
+    return True

@@ -1,0 +1,153 @@
+"""Encodings: injective maps from symbols to fixed-width binary codes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = ["Encoding", "face_of"]
+
+
+def face_of(codes: Iterable[int], n_bits: int) -> Tuple[int, int]:
+    """Supercube of a set of codes as ``(fixed_mask, fixed_value)``.
+
+    Bit ``b`` of ``fixed_mask`` is set when all codes agree in bit
+    ``b``; ``fixed_value`` holds the agreed value there.  A code ``c``
+    lies on the face iff ``(c ^ fixed_value) & fixed_mask == 0``.
+    """
+    codes = list(codes)
+    if not codes:
+        raise ValueError("face of an empty set is undefined")
+    all_ones = (1 << n_bits) - 1
+    agree_one = all_ones
+    agree_zero = all_ones
+    for c in codes:
+        agree_one &= c
+        agree_zero &= ~c & all_ones
+    mask = agree_one | agree_zero
+    return mask, agree_one
+
+
+@dataclass
+class Encoding:
+    """An assignment of ``n_bits``-wide codes to symbols."""
+
+    symbols: Tuple[str, ...]
+    codes: Dict[str, int]
+    n_bits: int
+
+    def __init__(
+        self,
+        symbols: Sequence[str],
+        codes: Mapping[str, int],
+        n_bits: Optional[int] = None,
+    ) -> None:
+        self.symbols = tuple(symbols)
+        missing = set(self.symbols) - set(codes)
+        if missing:
+            raise ValueError(f"codes missing for {sorted(missing)}")
+        self.codes = {s: codes[s] for s in self.symbols}
+        if n_bits is None:
+            n_bits = max(
+                1, max(self.codes.values()).bit_length()
+            )
+        self.n_bits = n_bits
+        for s, c in self.codes.items():
+            if c < 0 or c >> n_bits:
+                raise ValueError(f"code of {s} does not fit in {n_bits} bits")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_code_list(
+        cls, symbols: Sequence[str], code_list: Sequence[int],
+        n_bits: Optional[int] = None,
+    ) -> "Encoding":
+        if len(symbols) != len(code_list):
+            raise ValueError("one code per symbol required")
+        return cls(symbols, dict(zip(symbols, code_list)), n_bits)
+
+    @classmethod
+    def from_columns(
+        cls, symbols: Sequence[str], columns: Sequence[Mapping[str, int]]
+    ) -> "Encoding":
+        """Build from code columns (column 0 = most significant bit)."""
+        n_bits = len(columns)
+        codes = {}
+        for s in symbols:
+            value = 0
+            for col in columns:
+                value = (value << 1) | (col[s] & 1)
+            codes[s] = value
+        return cls(symbols, codes, n_bits)
+
+    # ------------------------------------------------------------------
+    def code_of(self, symbol: str) -> int:
+        return self.codes[symbol]
+
+    def bit(self, symbol: str, column: int) -> int:
+        """Bit of ``symbol`` in code column ``column`` (0 = MSB)."""
+        return (self.codes[symbol] >> (self.n_bits - 1 - column)) & 1
+
+    def column(self, column: int) -> Dict[str, int]:
+        return {s: self.bit(s, column) for s in self.symbols}
+
+    def columns(self) -> List[Dict[str, int]]:
+        return [self.column(j) for j in range(self.n_bits)]
+
+    def is_injective(self) -> bool:
+        return len(set(self.codes.values())) == len(self.symbols)
+
+    def used_codes(self) -> List[int]:
+        return [self.codes[s] for s in self.symbols]
+
+    def unused_codes(self) -> List[int]:
+        used = set(self.codes.values())
+        return [c for c in range(1 << self.n_bits) if c not in used]
+
+    def face(self, subset: Iterable[str]) -> Tuple[int, int]:
+        """Supercube (mask, value) of the codes of ``subset``."""
+        return face_of((self.codes[s] for s in subset), self.n_bits)
+
+    def face_dimension(self, subset: Iterable[str]) -> int:
+        mask, _ = self.face(subset)
+        return self.n_bits - bin(mask).count("1")
+
+    def symbols_on_face(self, mask: int, value: int) -> List[str]:
+        return [
+            s
+            for s in self.symbols
+            if not (self.codes[s] ^ value) & mask
+        ]
+
+    def intruders(self, subset: AbstractSet[str]) -> List[str]:
+        """Symbols outside ``subset`` lying on its face (paper's I_k)."""
+        mask, value = self.face(subset)
+        return [
+            s for s in self.symbols_on_face(mask, value)
+            if s not in subset
+        ]
+
+    def satisfies(self, subset: AbstractSet[str]) -> bool:
+        """Face-constraint satisfaction: empty intruder set."""
+        return not self.intruders(subset)
+
+    # ------------------------------------------------------------------
+    def as_table(self) -> str:
+        width = max(len(s) for s in self.symbols)
+        lines = [
+            f"{s:<{width}}  {self.codes[s]:0{self.n_bits}b}"
+            for s in self.symbols
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Encoding({len(self.symbols)} symbols, {self.n_bits} bits)"

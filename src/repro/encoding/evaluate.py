@@ -1,0 +1,152 @@
+"""Scoring encodings: product terms needed to implement the constraints.
+
+This is the paper's quality measure for Table I.  Each face constraint
+``L`` induces a single-output Boolean function over the code space
+(footnote 2 of the paper):
+
+* on-set: the codes of the symbols in ``L``,
+* off-set: the codes of the symbols not in ``L``,
+* don't-care set: the unused codes.
+
+The number of cubes in a minimized sum-of-products for that function —
+one per constraint, summed — measures how economically the encoding
+implements the complete constraint set: a satisfied constraint costs
+exactly one cube, an infeasible one costs however many its intruders
+force (Theorem I gives the constructive bound).
+
+Every encoder in this repository is scored by this same evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..cubes import Space, contains
+from ..espresso import ExactLimitError, espresso, exact_minimize
+from .codes import Encoding
+from .constraints import ConstraintSet, FaceConstraint, SeedDichotomy
+
+__all__ = [
+    "constraint_function",
+    "cubes_for_constraint",
+    "evaluate_encoding",
+    "EvaluationReport",
+    "ConstraintScore",
+]
+
+
+def _code_minterm(space: Space, code: int, n_bits: int) -> int:
+    values = [(code >> (n_bits - 1 - b)) & 1 for b in range(n_bits)]
+    return space.minterm(values)
+
+
+def constraint_function(
+    encoding: Encoding, constraint: FaceConstraint
+) -> Tuple[Space, List[int], List[int]]:
+    """(space, onset, dcset) of the constraint's Boolean function."""
+    nv = encoding.n_bits
+    space = Space.binary(nv)
+    onset = [
+        _code_minterm(space, encoding.code_of(s), nv)
+        for s in sorted(constraint.symbols)
+    ]
+    dcset = [
+        _code_minterm(space, code, nv) for code in encoding.unused_codes()
+    ]
+    return space, onset, dcset
+
+
+def cubes_for_constraint(
+    encoding: Encoding,
+    constraint: FaceConstraint,
+    *,
+    exact: Optional[bool] = None,
+) -> int:
+    """Minimized product-term count for one constraint.
+
+    Uses the exact minimizer on small code spaces (the default for
+    ``nv <= 4``) and the espresso heuristic otherwise.
+    """
+    space, onset, dcset = constraint_function(encoding, constraint)
+    if exact is None:
+        exact = encoding.n_bits <= 4
+    if exact:
+        try:
+            return len(exact_minimize(space, onset, dcset))
+        except ExactLimitError:
+            pass
+    return len(espresso(space, onset, dcset, use_lastgasp=False))
+
+
+@dataclass
+class ConstraintScore:
+    constraint: FaceConstraint
+    cubes: int
+    satisfied: bool
+    intruders: Tuple[str, ...]
+
+
+@dataclass
+class EvaluationReport:
+    """Everything Table I needs about one encoding."""
+
+    encoding: Encoding
+    scores: List[ConstraintScore] = field(default_factory=list)
+
+    @property
+    def total_cubes(self) -> int:
+        return sum(s.cubes for s in self.scores)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.scores)
+
+    @property
+    def n_satisfied(self) -> int:
+        return sum(1 for s in self.scores if s.satisfied)
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_satisfied}/{self.n_constraints} constraints "
+            f"satisfied, {self.total_cubes} cubes total"
+        )
+
+
+def evaluate_encoding(
+    encoding: Encoding,
+    constraints: ConstraintSet,
+    *,
+    exact: Optional[bool] = None,
+) -> EvaluationReport:
+    """Score an encoding against the *original* constraint set."""
+    if not encoding.is_injective():
+        raise ValueError("encoding is not injective")
+    report = EvaluationReport(encoding)
+    n = len(constraints.symbols)
+    for constraint in constraints.nontrivial():
+        intruders = tuple(encoding.intruders(constraint.symbols))
+        cubes = cubes_for_constraint(encoding, constraint, exact=exact)
+        report.scores.append(
+            ConstraintScore(
+                constraint=constraint,
+                cubes=cubes,
+                satisfied=not intruders,
+                intruders=intruders,
+            )
+        )
+    return report
+
+
+def satisfied_dichotomies(
+    encoding: Encoding, constraints: ConstraintSet
+) -> Tuple[int, int]:
+    """(satisfied, total) seed dichotomies of the nontrivial constraints."""
+    total = 0
+    done = 0
+    columns = encoding.columns()
+    for d in constraints.all_seed_dichotomies():
+        total += 1
+        if any(d.satisfied_by_column(col) for col in columns):
+            done += 1
+    return done, total

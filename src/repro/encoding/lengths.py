@@ -1,0 +1,136 @@
+"""Code-length trade-off analysis (the paper's motivation).
+
+The introduction's rationale: satisfying the *complete* face
+constraint set often forces codes longer than ``ceil(log2 n)``, and
+the extra state variables usually cancel the area gains — which is
+why the partial, minimum-length problem matters.  These helpers
+quantify that trade-off:
+
+* :func:`minimum_satisfying_length` — the smallest ``nv`` at which a
+  full face embedding of all constraints exists (found with the exact
+  encoder when small, the PICOLA heuristic otherwise);
+* :func:`length_tradeoff` — cubes-to-implement-the-constraints and an
+  area proxy as a function of the code length, the series behind the
+  motivation experiment in ``benchmarks/test_motivation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .constraints import ConstraintSet
+from .evaluate import evaluate_encoding
+from .exact import ExactSearchBudget, exact_encode
+
+
+def _picola_encode(*args, **kwargs):
+    # imported lazily: repro.core itself builds on repro.encoding
+    from ..core import picola_encode
+
+    return picola_encode(*args, **kwargs)
+
+__all__ = [
+    "LengthPoint",
+    "minimum_satisfying_length",
+    "length_tradeoff",
+    "best_length_encoding",
+]
+
+#: at or below this symbol count the exact encoder decides
+#: satisfiability; above it the PICOLA heuristic is used (which can
+#: overestimate the minimum satisfying length, never underestimate)
+_EXACT_LIMIT = 9
+
+
+@dataclass
+class LengthPoint:
+    """One point of the length/cost trade-off curve."""
+
+    nv: int
+    satisfied: int
+    total: int
+    cubes: int
+    area_proxy: int  # cubes x (2 * nv), the constraint-decoder area
+
+
+def _all_satisfiable(cset: ConstraintSet, nv: int) -> bool:
+    k = len(cset.nontrivial())
+    if k == 0:
+        return True
+    if cset.n_symbols <= _EXACT_LIMIT:
+        try:
+            result = exact_encode(cset, nv, max_nodes=300_000)
+            if result.optimal:
+                return result.satisfied == k
+        except ExactSearchBudget:
+            pass
+    outcome = _picola_encode(cset, nv=nv)
+    return len(outcome.satisfied) == k
+
+
+def minimum_satisfying_length(
+    cset: ConstraintSet, max_extra_bits: int = 8
+) -> Optional[int]:
+    """Smallest nv at which every nontrivial constraint embeds.
+
+    Returns None when no length up to ``min + max_extra_bits``
+    suffices (with heuristic search this is an upper-bound answer).
+    ``n - 1`` bits always suffice for any constraint set (the 1-hot
+    -minus-one embedding), so the cap rarely binds.
+    """
+    base = cset.min_code_length()
+    for nv in range(base, base + max_extra_bits + 1):
+        if _all_satisfiable(cset, nv):
+            return nv
+    return None
+
+
+def best_length_encoding(
+    cset: ConstraintSet,
+    max_extra_bits: int = 3,
+    register_cost: float = 4.0,
+):
+    """The code length that minimizes total estimated area.
+
+    The paper's Section 1 point, made constructive: sweep the code
+    length, score each PICOLA encoding by
+    ``cubes * 2 * nv + register_cost * nv`` (AND-plane width plus a
+    flip-flop cost per state bit) and return
+    ``(encoding, chosen LengthPoint, all points)``.  With the default
+    register cost the minimum length usually — but not always — wins,
+    which is exactly the trade-off the minimum-length problem exists
+    to resolve.
+    """
+    points = length_tradeoff(cset, max_extra_bits)
+    encodings = []
+    for point in points:
+        outcome = _picola_encode(cset, nv=point.nv)
+        encodings.append(outcome.encoding)
+
+    def area(point: LengthPoint) -> float:
+        return point.cubes * 2 * point.nv + register_cost * point.nv
+
+    best_idx = min(range(len(points)), key=lambda i: area(points[i]))
+    return encodings[best_idx], points[best_idx], points
+
+
+def length_tradeoff(
+    cset: ConstraintSet, max_extra_bits: int = 3
+) -> List[LengthPoint]:
+    """Constraint-implementation cost as the code length grows."""
+    points: List[LengthPoint] = []
+    base = cset.min_code_length()
+    for nv in range(base, base + max_extra_bits + 1):
+        outcome = _picola_encode(cset, nv=nv)
+        report = evaluate_encoding(outcome.encoding, cset)
+        points.append(
+            LengthPoint(
+                nv=nv,
+                satisfied=report.n_satisfied,
+                total=report.n_constraints,
+                cubes=report.total_cubes,
+                area_proxy=report.total_cubes * 2 * nv,
+            )
+        )
+    return points

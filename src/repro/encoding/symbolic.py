@@ -1,0 +1,128 @@
+"""Deriving face constraints by symbolic (multi-valued) minimization.
+
+The two-step encoding strategy of the paper's Section 2: minimize the
+symbolic cover with the present state as one multi-valued input
+variable (ESPRESSO-MV style); every implicant of the result whose
+state literal contains two or more states — and not all of them — is a
+face constraint: if the encoding embeds that state group on a face of
+the code cube, the implicant survives as a single product term in the
+boolean domain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..cubes import Space, absorb, cover_contains_cube
+from ..espresso import espresso
+from ..fsm import Fsm, fsm_to_symbolic_cover
+from .constraints import ConstraintSet, FaceConstraint
+
+__all__ = [
+    "derive_face_constraints",
+    "minimize_symbolic_cover",
+    "constraints_from_cover",
+]
+
+#: above this many states the full espresso loop (whose off-set
+#: computation splits on the state part value by value) is replaced by
+#: the direct merge/expand pass below
+_FULL_ESPRESSO_STATE_LIMIT = 64
+
+
+def minimize_symbolic_cover(fsm: Fsm) -> Tuple[Space, List[int], List[str]]:
+    """Multi-valued minimization of the FSM's input-encoding model.
+
+    Incompletely specified behaviour (missing rows, ``-`` outputs,
+    ``*`` next states) enters the minimization as a don't-care cover.
+    """
+    space, cover, dc, states = fsm_to_symbolic_cover(fsm, with_dc=True)
+    if len(states) <= _FULL_ESPRESSO_STATE_LIMIT:
+        minimized = espresso(space, cover, dc, use_lastgasp=False)
+    else:
+        minimized = _fast_symbolic_merge(
+            space, cover, len(states), dc
+        )
+    return space, minimized, states
+
+
+def _fast_symbolic_merge(
+    space: Space,
+    cover: List[int],
+    n_states: int,
+    dc: Sequence[int] = (),
+) -> List[int]:
+    """Coverage-preserving merge for very large state counts.
+
+    Two sound steps instead of the full espresso fixed point:
+
+    1. rows identical outside the state part merge into one cube whose
+       state literal is the union (exactly how groups of states with
+       identical behaviour become multi-state implicants);
+    2. each cube's state literal is expanded value by value, accepting
+       a new state exactly when the grown cube is already covered by
+       the original cover (a tautology check instead of an off-set).
+
+    The result covers the same minterms as ``cover``; it is simply a
+    shorter SOP with wider state literals — which is all the
+    face-constraint derivation needs.
+    """
+    state_part = space.num_parts - 2
+    mask = space.part_masks[state_part]
+    merged: dict = {}
+    for cube in cover:
+        key = cube & ~mask
+        merged[key] = merged.get(key, 0) | (cube & mask)
+    result = absorb([key | field for key, field in merged.items()])
+
+    offset = space.offsets[state_part]
+    care = list(cover) + list(dc)
+    expanded: List[int] = []
+    for cube in result:
+        for value in range(n_states):
+            bit = 1 << (offset + value)
+            if cube & bit:
+                continue
+            candidate = cube | bit
+            if cover_contains_cube(space, care, candidate):
+                cube = candidate
+        expanded.append(cube)
+    return absorb(expanded)
+
+
+def constraints_from_cover(
+    space: Space,
+    cover: Sequence[int],
+    states: Sequence[str],
+) -> ConstraintSet:
+    """Extract the face constraints from a minimized symbolic cover.
+
+    The state variable is the second-to-last part of ``space`` (the
+    layout produced by :func:`repro.fsm.fsm_to_symbolic_cover`).
+    """
+    state_part = space.num_parts - 2
+    n_states = space.part_sizes[state_part]
+    if n_states != len(states):
+        raise ValueError("state count does not match space layout")
+    counts: dict = {}
+    result = ConstraintSet(list(states))
+    full = (1 << n_states) - 1
+    for cube in cover:
+        field = space.field(cube, state_part)
+        size = bin(field).count("1")
+        if size < 2 or field == full:
+            continue
+        counts[field] = counts.get(field, 0) + 1
+    # multiplicity = how many symbolic implicants need this face; it
+    # becomes the constraint weight (NOVA weights its constraints the
+    # same way)
+    for field, count in counts.items():
+        members = [states[i] for i in range(n_states) if field & (1 << i)]
+        result.add(FaceConstraint(members, weight=float(count)))
+    return result
+
+
+def derive_face_constraints(fsm: Fsm) -> ConstraintSet:
+    """FSM -> face constraints (the paper's Table I 'const' column)."""
+    space, minimized, states = minimize_symbolic_cover(fsm)
+    return constraints_from_cover(space, minimized, states)

@@ -1,0 +1,129 @@
+"""EXPAND: grow each cube into a prime implicant against the off-set.
+
+Each cube is expanded one position at a time.  A raise is *feasible*
+when the grown cube still avoids every off-set cube; among feasible
+raises the one covering the most other on-set cubes (then the most
+popular column) is taken, which is the essence of ESPRESSO's
+covering-directed expansion without the full blocking/covering matrix
+machinery.
+
+Feasibility is tracked incrementally: for every off-set cube we keep
+the set of parts where it currently has empty intersection with the
+cube being expanded (its *blocking parts*).  An on-set cube never
+intersects the off-set, so that set is non-empty; raising position
+``(part, value)`` is blocked exactly by off-cubes whose only blocking
+part is ``part`` and which admit ``value`` there.  This turns the
+inner feasibility test into a dictionary lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..cubes import Space, contains
+
+__all__ = ["expand", "expand_cube"]
+
+
+def expand_cube(
+    space: Space,
+    cube: int,
+    off: Sequence[int],
+    others: Sequence[int] = (),
+) -> int:
+    """Expand ``cube`` to a prime implicant of the complement of ``off``.
+
+    ``others`` (remaining on-set cubes) only steer the raise order.
+    """
+    masks = space.part_masks
+    n_parts = space.num_parts
+
+    # blocking parts of each off cube relative to the current cube
+    blocking: List[Set[int]] = []
+    for c in off:
+        meet = c & cube
+        parts = {p for p in range(n_parts) if not meet & masks[p]}
+        blocking.append(parts)
+
+    # off-cubes at distance one, indexed by their single blocking part
+    critical: Dict[int, List[int]] = {}
+    for idx, parts in enumerate(blocking):
+        if len(parts) == 1:
+            critical.setdefault(next(iter(parts)), []).append(idx)
+
+    free_bits = space.universe & ~cube
+    bit_part = {}
+    for part in range(n_parts):
+        for value in range(space.part_sizes[part]):
+            bit_part[1 << (part * 0 + space.position(part, value))] = part
+
+    while free_bits:
+        best_bit = 0
+        best_key: Tuple[int, int] = (-1, -1)
+        bits = free_bits
+        while bits:
+            bit = bits & -bits
+            bits &= bits - 1
+            part = bit_part[bit]
+            if any(off[i] & bit for i in critical.get(part, ())):
+                continue  # raising this value hits an off cube
+            grown = cube | bit
+            covered = 0
+            column = 0
+            for o in others:
+                if o & bit:
+                    column += 1
+                if not o & ~grown:
+                    covered += 1
+            key = (covered, column)
+            if key > best_key:
+                best_key = key
+                best_bit = bit
+        if not best_bit:
+            break
+        part = bit_part[best_bit]
+        cube |= best_bit
+        free_bits &= ~best_bit
+        # raising a value in `part` may unblock off-cubes there
+        for idx, parts in enumerate(blocking):
+            if part in parts and off[idx] & best_bit:
+                parts.discard(part)
+                if len(parts) == 1:
+                    critical.setdefault(next(iter(parts)), []).append(idx)
+    return cube
+
+
+def expand(
+    space: Space,
+    onset: List[int],
+    off: Sequence[int],
+) -> List[int]:
+    """Expand every cube of ``onset``; drop cubes covered along the way.
+
+    Cubes are processed smallest-first (ascending weight), the standard
+    ESPRESSO order: small cubes benefit most from expansion and their
+    primes tend to cover the larger ones.
+    """
+    order = sorted(range(len(onset)), key=lambda i: bin(onset[i]).count("1"))
+    covered = [False] * len(onset)
+    result: List[int] = []
+    for idx in order:
+        if covered[idx]:
+            continue
+        others = [onset[j] for j in order if j != idx and not covered[j]]
+        prime = expand_cube(space, onset[idx], off, others)
+        for j in order:
+            if j != idx and not covered[j] and contains(prime, onset[j]):
+                covered[j] = True
+        result.append(prime)
+    # a later prime can swallow an earlier one
+    out: List[int] = []
+    for i, c in enumerate(result):
+        if any(
+            contains(d, c) and (d != c or j < i)
+            for j, d in enumerate(result)
+            if j != i
+        ):
+            continue
+        out.append(c)
+    return out

@@ -1,0 +1,111 @@
+"""Generators for the classic two-level benchmark functions.
+
+The espresso literature evaluates minimizers on a standard family of
+arithmetic PLAs (rd53, rd73, xor5, adr4, sqr4, majority, ...).  Those
+functions are pure mathematics, so rather than shipping the MCNC
+files we synthesize them exactly:
+
+* ``rdn(n)``  — the "rd" counters: n inputs, ceil(log2(n+1)) outputs
+  encoding the number of ones (rd53 = rdn(5), rd73 = rdn(7));
+* ``xorn(n)`` — n-input parity (xor5 = xorn(5)); its minimum SOP is
+  exactly ``2^(n-1)`` terms, a sharp optimality probe;
+* ``adrn(n)`` — the n+n-bit ripple adder's truth table (adr4 =
+  adrn(4));
+* ``sqrn(n)`` — the n-bit squarer (sqr6 = sqrn(6));
+* ``majority(n)`` — the n-input majority vote.
+
+Each returns a fully specified :class:`Pla` built from the on-set
+minterms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from .pla import Pla
+
+__all__ = ["rdn", "xorn", "adrn", "sqrn", "majority", "CLASSICS"]
+
+
+def _from_truth_table(
+    n_inputs: int,
+    n_outputs: int,
+    func: Callable[[int], int],
+    name: str,
+) -> Pla:
+    """Build a PLA from output-word function over input integers."""
+    pla = Pla(n_inputs, n_outputs)
+    space = pla.space
+    for x in range(1 << n_inputs):
+        word = func(x)
+        if not word:
+            continue
+        values = [(x >> (n_inputs - 1 - b)) & 1 for b in range(n_inputs)]
+        fields = [0b10 if v else 0b01 for v in values]
+        fields.append(word)
+        pla.onset.append(space.make_cube(fields))
+    pla.input_labels = [f"x{i}" for i in range(n_inputs)]
+    pla.output_labels = [f"{name}{o}" for o in range(n_outputs)]
+    return pla
+
+
+def rdn(n: int) -> Pla:
+    """The rd-series counter: outputs = popcount of the inputs."""
+    n_out = max(1, n.bit_length())
+
+    def func(x: int) -> int:
+        return bin(x).count("1")
+
+    return _from_truth_table(n, n_out, func, "s")
+
+
+def xorn(n: int) -> Pla:
+    """n-input parity; minimal SOP has exactly 2^(n-1) terms."""
+
+    def func(x: int) -> int:
+        return bin(x).count("1") & 1
+
+    return _from_truth_table(n, 1, func, "p")
+
+
+def adrn(n: int) -> Pla:
+    """n-bit + n-bit adder: 2n inputs, n+1 outputs."""
+
+    def func(x: int) -> int:
+        a = x >> n
+        b = x & ((1 << n) - 1)
+        return a + b
+
+    return _from_truth_table(2 * n, n + 1, func, "sum")
+
+
+def sqrn(n: int) -> Pla:
+    """n-bit squarer: n inputs, 2n outputs."""
+
+    def func(x: int) -> int:
+        return x * x
+
+    return _from_truth_table(n, 2 * n, func, "q")
+
+
+def majority(n: int) -> Pla:
+    """Majority vote of n inputs (n odd for a strict majority)."""
+
+    def func(x: int) -> int:
+        return 1 if bin(x).count("1") * 2 > n else 0
+
+    return _from_truth_table(n, 1, func, "m")
+
+
+#: the classic instances by their literature names, with the minimized
+#: product-term counts espresso is known to reach on them (used as
+#: regression bounds by the benches; exact optimality is only asserted
+#: where theory pins it, e.g. parity)
+CLASSICS: Dict[str, Sequence] = {
+    "rd53": (lambda: rdn(5), 31),
+    "rd73": (lambda: rdn(7), 127),
+    "xor5": (lambda: xorn(5), 16),
+    "adr4": (lambda: adrn(4), 75),
+    "sqr4": (lambda: sqrn(4), 12),
+    "maj5": (lambda: majority(5), 10),
+}

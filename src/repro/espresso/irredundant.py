@@ -1,0 +1,53 @@
+"""IRREDUNDANT: drop cubes covered by the rest of the cover.
+
+A cube is *relatively essential* when removing it uncovers part of the
+on-set; everything else is redundant relative to the current cover and
+is removed greedily (largest cubes are kept preferentially, mirroring
+ESPRESSO's minimal irredundant-cover heuristic).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..cubes import Space, cover_contains_cube
+
+__all__ = ["irredundant", "relatively_essential"]
+
+
+def relatively_essential(
+    space: Space,
+    onset: Sequence[int],
+    dcset: Sequence[int] = (),
+) -> Tuple[List[int], List[int]]:
+    """Split the cover into (relatively essential, redundant) cubes."""
+    essential: List[int] = []
+    redundant: List[int] = []
+    for i, cube in enumerate(onset):
+        rest = [c for j, c in enumerate(onset) if j != i]
+        if cover_contains_cube(space, rest + list(dcset), cube):
+            redundant.append(cube)
+        else:
+            essential.append(cube)
+    return essential, redundant
+
+
+def irredundant(
+    space: Space,
+    onset: List[int],
+    dcset: Sequence[int] = (),
+) -> List[int]:
+    """A subset of ``onset`` with the same coverage and no redundant cube.
+
+    Smallest redundant cubes are dropped first so large primes survive.
+    """
+    keep = sorted(onset, key=lambda c: bin(c).count("1"))
+    i = 0
+    while i < len(keep):
+        cube = keep[i]
+        rest = keep[:i] + keep[i + 1 :]
+        if cover_contains_cube(space, rest + list(dcset), cube):
+            keep.pop(i)
+        else:
+            i += 1
+    return keep

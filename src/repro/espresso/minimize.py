@@ -1,0 +1,156 @@
+"""The ESPRESSO main loop.
+
+``espresso(space, onset, dcset)`` runs the classic fixed point
+
+    EXPAND -> IRREDUNDANT -> [ESSENTIALS] -> { REDUCE -> EXPAND ->
+    IRREDUNDANT } until the cost stops improving -> [LASTGASP]
+
+over covers represented as lists of int cubes in any multi-valued
+space.  Cost is (number of cubes, number of asserted positions), the
+same lexicographic objective ESPRESSO uses (cube count first, then
+literals).
+
+``espresso_pla`` is the convenience entry point for :class:`Pla`
+objects (multi-output functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..cubes import Space, absorb, complement, contains, cover_contains_cube
+from .expand import expand, expand_cube
+from .irredundant import irredundant, relatively_essential
+from .pla import Pla
+from .reduce import reduce_cover, reduce_cube
+
+__all__ = ["espresso", "espresso_pla", "EspressoStats", "cover_cost"]
+
+
+@dataclass
+class EspressoStats:
+    """Run statistics of one espresso() invocation."""
+
+    iterations: int = 0
+    initial_terms: int = 0
+    final_terms: int = 0
+    essential_terms: int = 0
+    lastgasp_improved: bool = False
+
+
+def cover_cost(space: Space, cover: Sequence[int]) -> Tuple[int, int]:
+    """(cube count, asserted positions) — lexicographic minimization goal.
+
+    "Asserted positions" counts the zero bits of each cube: fewer set
+    bits means a larger cube, so we count *missing* bits as cost.
+    """
+    literals = sum(
+        space.width - bin(cube).count("1") for cube in cover
+    )
+    return (len(cover), literals)
+
+
+def espresso(
+    space: Space,
+    onset: Sequence[int],
+    dcset: Sequence[int] = (),
+    *,
+    use_essentials: bool = True,
+    use_lastgasp: bool = True,
+    max_iterations: int = 20,
+    stats: Optional[EspressoStats] = None,
+) -> List[int]:
+    """Heuristically minimize ``onset`` with don't-cares ``dcset``.
+
+    Returns a new cover with the same coverage over the care set,
+    typically with (near-)minimal cube count.
+    """
+    if stats is None:
+        stats = EspressoStats()
+    dc = list(dcset)
+    cover = absorb(list(onset))
+    stats.initial_terms = len(cover)
+    if not cover:
+        stats.final_terms = 0
+        return []
+    off = complement(space, cover + dc)
+
+    cover = expand(space, cover, off)
+    cover = irredundant(space, cover, dc)
+
+    essentials: List[int] = []
+    if use_essentials:
+        essentials, rest = relatively_essential(space, cover, dc)
+        # keep the truly load-bearing primes fixed; they act as extra
+        # don't-cares for the rest of the optimization
+        if essentials and rest:
+            cover = rest
+            dc = dc + essentials
+        else:
+            essentials = []
+    stats.essential_terms = len(essentials)
+
+    best = cover_cost(space, cover)
+    while stats.iterations < max_iterations:
+        stats.iterations += 1
+        cover = reduce_cover(space, cover, dc)
+        cover = expand(space, cover, off)
+        cover = irredundant(space, cover, dc)
+        cost = cover_cost(space, cover)
+        if cost >= best:
+            break
+        best = cost
+
+    if use_lastgasp:
+        improved = _lastgasp(space, cover, dc, off)
+        if improved is not None:
+            cover = improved
+            stats.lastgasp_improved = True
+
+    cover = essentials + cover
+    cover = irredundant(space, cover, list(dcset))
+    stats.final_terms = len(cover)
+    return cover
+
+
+def _lastgasp(
+    space: Space,
+    cover: List[int],
+    dc: Sequence[int],
+    off: Sequence[int],
+) -> Optional[List[int]]:
+    """ESPRESSO's LASTGASP: maximally reduce each cube independently,
+    expand the reductions trying to cover *two* or more of them, and
+    accept the result only if it lowers the cost."""
+    reduced: List[int] = []
+    for i, cube in enumerate(cover):
+        rest = [c for j, c in enumerate(cover) if j != i]
+        small = reduce_cube(space, cube, rest + list(dc))
+        if small:
+            reduced.append(small)
+    if not reduced:
+        return None
+    candidates: List[int] = []
+    for i, cube in enumerate(reduced):
+        prime = expand_cube(space, cube, off, reduced)
+        covers = sum(1 for r in reduced if contains(prime, r))
+        if covers >= 2:
+            candidates.append(prime)
+    if not candidates:
+        return None
+    trial = irredundant(space, absorb(cover + candidates), list(dc))
+    if cover_cost(space, trial) < cover_cost(space, cover):
+        return trial
+    return None
+
+
+def espresso_pla(pla: Pla, **kwargs) -> Pla:
+    """Minimize a multi-output :class:`Pla`; returns a new Pla."""
+    stats = kwargs.pop("stats", None)
+    minimized = espresso(
+        pla.space, pla.onset, pla.dcset, stats=stats, **kwargs
+    )
+    result = pla.copy()
+    result.onset = minimized
+    return result

@@ -1,0 +1,73 @@
+"""REDUCE: shrink each cube to the smallest cube doing its unique work.
+
+The classic SCCC computation: the reduction of cube ``c`` against the
+rest of the cover ``G`` is
+
+    c' = c  AND  supercube( complement( (G cofactor c) ) )
+
+i.e. the smallest cube containing the part of ``c`` that no other cube
+(nor the don't-care set) covers.  Reduced cubes give the following
+EXPAND pass room to move to a *different* prime, which is how the
+espresso loop escapes local minima.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..cubes import Space, complement, supercube
+
+__all__ = ["reduce_cover", "reduce_cube"]
+
+
+def _intersects(space: Space, a: int, b: int) -> bool:
+    c = a & b
+    for mask in space.part_masks:
+        if not c & mask:
+            return False
+    return True
+
+
+def reduce_cube(
+    space: Space,
+    cube: int,
+    rest: Sequence[int],
+) -> int:
+    """Smallest cube covering the minterms of ``cube`` unique to it.
+
+    Returns 0 when ``rest`` covers ``cube`` entirely (caller decides
+    what to do; :func:`reduce_cover` keeps such cubes untouched and
+    leaves their removal to IRREDUNDANT).
+    """
+    lifted = space.universe & ~cube
+    cofactored = [c | lifted for c in rest if _intersects(space, c, cube)]
+    comp = complement(space, cofactored)
+    if not comp:
+        return 0
+    return cube & supercube(comp)
+
+
+def reduce_cover(
+    space: Space,
+    onset: List[int],
+    dcset: Sequence[int] = (),
+) -> List[int]:
+    """Reduce every cube in place against the current partial result.
+
+    Cubes are processed largest-first (ESPRESSO's order): reducing the
+    big primes first gives the small ones the most freedom afterwards.
+    Reduction is *sequential* — each reduction sees the already-reduced
+    versions of earlier cubes — which preserves the cover's coverage.
+    """
+    order = sorted(
+        range(len(onset)),
+        key=lambda i: bin(onset[i]).count("1"),
+        reverse=True,
+    )
+    cubes = list(onset)
+    for idx in order:
+        rest = [cubes[j] for j in range(len(cubes)) if j != idx]
+        reduced = reduce_cube(space, cubes[idx], rest + list(dcset))
+        if reduced:
+            cubes[idx] = reduced
+    return cubes

@@ -1,0 +1,100 @@
+"""MAKE_SPARSE: literal/connection reduction after minimization.
+
+ESPRESSO's final pass: with the cube count settled, reduce the number
+of PLA connections.  Two dual steps:
+
+* the *output part* is lowered — a cube drops an output value when the
+  rest of the cover already implements that output over the cube
+  (fewer OR-plane contacts);
+* the *input parts* are raised — a literal is removed when the grown
+  cube still avoids the off-set (fewer AND-plane contacts).
+
+Both steps preserve cover semantics exactly; only the wiring density
+changes.  ``make_sparse`` works on any multi-valued space where the
+last part plays the output role (lowering is applied to it, raising
+to the rest).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..cubes import Space, complement, cover_contains_cube
+
+__all__ = ["make_sparse", "lower_outputs", "raise_inputs"]
+
+
+def lower_outputs(
+    space: Space,
+    cover: List[int],
+    dcset: Sequence[int] = (),
+) -> List[int]:
+    """Drop redundant output values from each cube (last part)."""
+    part = space.num_parts - 1
+    mask = space.part_masks[part]
+    offset = space.offsets[part]
+    result = list(cover)
+    for idx in range(len(result)):
+        cube = result[idx]
+        field = space.field(cube, part)
+        for value in range(space.part_sizes[part]):
+            bit = 1 << value
+            if not field & bit or field == bit:
+                continue  # not asserted, or last remaining value
+            candidate_field = field & ~bit
+            shrunk = space.with_field(cube, part, bit)
+            # the cube restricted to this output value
+            rest = (
+                result[:idx]
+                + result[idx + 1 :]
+                + list(dcset)
+            )
+            if cover_contains_cube(space, rest, shrunk):
+                field = candidate_field
+                cube = space.with_field(cube, part, field)
+        result[idx] = cube
+    return [c for c in result if space.field(c, part)]
+
+
+def raise_inputs(
+    space: Space,
+    cover: List[int],
+    off: Optional[Sequence[int]] = None,
+    dcset: Sequence[int] = (),
+) -> List[int]:
+    """Remove input literals while the cube avoids the off-set."""
+    if off is None:
+        off = complement(space, list(cover) + list(dcset))
+    result = []
+    for cube in cover:
+        free = (space.universe & ~cube) & ~space.part_masks[
+            space.num_parts - 1
+        ]
+        while free:
+            bit = free & -free
+            free &= free - 1
+            grown = cube | bit
+            if not any(_intersects(space, grown, c) for c in off):
+                cube = grown
+        result.append(cube)
+    return result
+
+
+def _intersects(space: Space, a: int, b: int) -> bool:
+    c = a & b
+    for mask in space.part_masks:
+        if not c & mask:
+            return False
+    return True
+
+
+def make_sparse(
+    space: Space,
+    cover: List[int],
+    dcset: Sequence[int] = (),
+    *,
+    off: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """ESPRESSO's make-sparse: lower outputs, then raise inputs."""
+    lowered = lower_outputs(space, cover, dcset)
+    return raise_inputs(space, lowered, off, dcset)

@@ -1,0 +1,6 @@
+"""Netlist exporters: BLIF (SIS-era flows) and flat Verilog RTL."""
+
+from .blif import assignment_to_blif, pla_to_blif
+from .verilog import assignment_to_verilog
+
+__all__ = ["assignment_to_blif", "pla_to_blif", "assignment_to_verilog"]

@@ -1,0 +1,178 @@
+"""Bridges from symbolic FSMs to PLAs.
+
+Two views are needed by the paper's flow:
+
+* :func:`fsm_to_symbolic_cover` — the *input-encoding model*: the
+  present state is one multi-valued input variable, the next state is
+  replaced by a one-hot code (exactly the paper's Table I setup:
+  "derived from IWLS 93 FSM benchmark substituting next state field by
+  a one-hot code").  Multi-valued minimization of this cover yields the
+  face constraints.
+
+* :func:`encode_fsm` — the encoded machine: a binary multi-output PLA
+  (primary inputs + state bits -> next-state bits + primary outputs)
+  under a given state encoding; minimizing it measures the quality of
+  the encoding (the paper's Table II "size").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cubes import Space
+from ..espresso import Pla
+from .machine import DC_STATE, Fsm
+
+__all__ = ["fsm_to_symbolic_cover", "encode_fsm", "unused_code_cubes"]
+
+
+def fsm_to_symbolic_cover(
+    fsm: Fsm, with_dc: bool = False
+) -> Tuple[Space, List[int], List[str]]:
+    """The FSM as a multi-valued cover for symbolic minimization.
+
+    Returns ``(space, cover, states)`` — or ``(space, cover, dc,
+    states)`` when ``with_dc`` is true — where ``space`` has one
+    binary part per primary input, one MV part of size ``n_states``
+    (the present-state variable) and one output part of size
+    ``n_states + n_outputs`` (one-hot next state, then the outputs).
+
+    The don't-care cover collects explicit ``-`` outputs, ``*`` next
+    states, and — for incompletely specified machines — the
+    (state, input) combinations with no row at all.
+    """
+    states = fsm.states
+    index = {s: i for i, s in enumerate(states)}
+    n_in, n_st, n_out = fsm.n_inputs, len(states), fsm.n_outputs
+    sizes = [2] * n_in + [n_st, n_st + n_out]
+    labels = [f"x{i}" for i in range(n_in)] + ["state", "out"]
+    space = Space(sizes, labels)
+    full_out = (1 << (n_st + n_out)) - 1
+    cover: List[int] = []
+    dc: List[int] = []
+    for t in fsm.transitions:
+        fields = [_input_field(ch) for ch in t.inputs]
+        if t.present == DC_STATE:
+            fields.append((1 << n_st) - 1)
+        else:
+            fields.append(1 << index[t.present])
+        out_field = 0
+        dc_field = 0
+        if t.next != DC_STATE:
+            out_field |= 1 << index[t.next]
+        else:
+            dc_field |= (1 << n_st) - 1
+        for o, ch in enumerate(t.outputs):
+            if ch == "1":
+                out_field |= 1 << (n_st + o)
+            elif ch == "-":
+                dc_field |= 1 << (n_st + o)
+        if out_field:
+            cover.append(space.make_cube(fields + [out_field]))
+        if dc_field:
+            dc.append(space.make_cube(fields + [dc_field]))
+    if with_dc:
+        # unspecified (state, input) territory is fully don't-care
+        from ..cubes import complement
+
+        input_state_sizes = [2] * n_in + [n_st]
+        sub = Space(input_state_sizes)
+        specified = []
+        for t in fsm.transitions:
+            fields = [_input_field(ch) for ch in t.inputs]
+            if t.present == DC_STATE:
+                fields.append((1 << n_st) - 1)
+            else:
+                fields.append(1 << index[t.present])
+            specified.append(sub.make_cube(fields))
+        for hole in complement(sub, specified):
+            fields = [sub.field(hole, p) for p in range(sub.num_parts)]
+            dc.append(space.make_cube(fields + [full_out]))
+        return space, cover, dc, states
+    return space, cover, states
+
+
+def _input_field(ch: str) -> int:
+    return {"0": 0b01, "1": 0b10, "-": 0b11}[ch]
+
+
+def unused_code_cubes(
+    n_bits: int, used_codes: Sequence[int]
+) -> List[Tuple[int, ...]]:
+    """All code words of ``n_bits`` bits not present in ``used_codes``.
+
+    Returned as bit tuples (MSB first) for readability at call sites.
+    """
+    used = set(used_codes)
+    result = []
+    for code in range(1 << n_bits):
+        if code not in used:
+            result.append(
+                tuple((code >> (n_bits - 1 - b)) & 1 for b in range(n_bits))
+            )
+    return result
+
+
+def encode_fsm(
+    fsm: Fsm,
+    codes: Dict[str, int],
+    n_bits: Optional[int] = None,
+) -> Pla:
+    """Build the encoded machine's PLA under a state encoding.
+
+    ``codes`` maps state name -> integer code.  The returned PLA has
+    ``n_inputs + n_bits`` binary inputs and ``n_bits + n_outputs``
+    outputs.  Unused state codes and don't-care next states / outputs
+    land in the don't-care set (espresso ``fr`` semantics).
+    """
+    states = fsm.states
+    if set(codes) < set(states):
+        missing = sorted(set(states) - set(codes))
+        raise ValueError(f"codes missing for states: {missing}")
+    if n_bits is None:
+        n_bits = max(max(codes[s] for s in states).bit_length(), 1)
+    if len({codes[s] for s in states}) != len(states):
+        raise ValueError("state encoding is not injective")
+    n_in, n_out = fsm.n_inputs, fsm.n_outputs
+    pla = Pla(n_in + n_bits, n_bits + n_out)
+    space = pla.space
+    out_part = space.num_parts - 1
+
+    for t in fsm.transitions:
+        fields = [_input_field(ch) for ch in t.inputs]
+        fields += _code_fields(codes[t.present], n_bits)
+        on_field = 0
+        dc_field = 0
+        if t.next == DC_STATE:
+            dc_field |= (1 << n_bits) - 1
+        else:
+            nxt = codes[t.next]
+            for b in range(n_bits):
+                if (nxt >> (n_bits - 1 - b)) & 1:
+                    on_field |= 1 << b
+        for o, ch in enumerate(t.outputs):
+            if ch == "1":
+                on_field |= 1 << (n_bits + o)
+            elif ch == "-":
+                dc_field |= 1 << (n_bits + o)
+        base = space.make_cube(fields + [(1 << (n_bits + n_out)) - 1])
+        if on_field:
+            pla.onset.append(space.with_field(base, out_part, on_field))
+        if dc_field:
+            pla.dcset.append(space.with_field(base, out_part, dc_field))
+
+    # unused codes: everything is don't care there
+    used = [codes[s] for s in states]
+    for bits in unused_code_cubes(n_bits, used):
+        fields = [0b11] * n_in
+        fields += [0b10 if b else 0b01 for b in bits]
+        fields.append((1 << (n_bits + n_out)) - 1)
+        pla.dcset.append(space.make_cube(fields))
+    return pla
+
+
+def _code_fields(code: int, n_bits: int) -> List[int]:
+    return [
+        0b10 if (code >> (n_bits - 1 - b)) & 1 else 0b01
+        for b in range(n_bits)
+    ]

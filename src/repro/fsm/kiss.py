@@ -1,0 +1,112 @@
+"""KISS2 format reader and writer.
+
+The KISS2 format (used by the MCNC/IWLS benchmark sets and by NOVA,
+SIS, STAMINA, ...) describes an FSM as::
+
+    .i 2
+    .o 1
+    .s 4
+    .p 8
+    .r st0
+    01 st0 st1 0
+    -- st1 st2 1
+    ...
+    .e
+
+Unknown dot-directives are tolerated; ``.s``/``.p`` counts are checked
+when present.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .machine import Fsm, Transition
+
+__all__ = ["parse_kiss", "format_kiss"]
+
+
+def parse_kiss(
+    text: str, name: str = "fsm", check_deterministic: bool = True
+) -> Fsm:
+    """Parse a KISS2 description into an :class:`Fsm`.
+
+    ``check_deterministic=False`` skips the overlapping-row conflict
+    check (some historical benchmark files contain benign overlaps).
+    """
+    n_inputs: Optional[int] = None
+    n_outputs: Optional[int] = None
+    n_states: Optional[int] = None
+    n_terms: Optional[int] = None
+    reset: Optional[str] = None
+    fsm = Fsm(name)
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            key = parts[0]
+            if key in (".i", ".o", ".s", ".p", ".r"):
+                if len(parts) < 2:
+                    raise ValueError(
+                        f"directive {key} needs an argument: {line!r}"
+                    )
+                try:
+                    if key == ".i":
+                        n_inputs = int(parts[1])
+                    elif key == ".o":
+                        n_outputs = int(parts[1])
+                    elif key == ".s":
+                        n_states = int(parts[1])
+                    elif key == ".p":
+                        n_terms = int(parts[1])
+                    else:
+                        reset = parts[1]
+                except ValueError as exc:
+                    raise ValueError(
+                        f"bad directive argument: {line!r}"
+                    ) from exc
+            elif key in (".e", ".end"):
+                break
+            continue
+        fields = line.split()
+        if len(fields) != 4:
+            raise ValueError(f"bad KISS row: {line!r}")
+        inputs, present, nxt, outputs = fields
+        if n_inputs is not None and len(inputs) != n_inputs:
+            raise ValueError(f"input width mismatch in row {line!r}")
+        if n_outputs is not None and len(outputs) != n_outputs:
+            raise ValueError(f"output width mismatch in row {line!r}")
+        fsm.add(inputs, present, nxt, outputs)
+    fsm.reset_state = reset
+    if not fsm.transitions:
+        raise ValueError("KISS file has no transitions")
+    if n_terms is not None and n_terms != len(fsm.transitions):
+        raise ValueError(
+            f".p says {n_terms} terms, file has {len(fsm.transitions)}"
+        )
+    if n_states is not None and n_states != fsm.n_states:
+        raise ValueError(
+            f".s says {n_states} states, file has {fsm.n_states}"
+        )
+    fsm.validate()
+    if check_deterministic:
+        fsm.check_deterministic()
+    return fsm
+
+
+def format_kiss(fsm: Fsm) -> str:
+    """Render an :class:`Fsm` in KISS2 format."""
+    lines = [
+        f".i {fsm.n_inputs}",
+        f".o {fsm.n_outputs}",
+        f".p {len(fsm.transitions)}",
+        f".s {fsm.n_states}",
+    ]
+    if fsm.reset_state is not None:
+        lines.append(f".r {fsm.reset_state}")
+    for t in fsm.transitions:
+        lines.append(f"{t.inputs} {t.present} {t.next} {t.outputs}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,145 @@
+"""State minimization for completely specified machines.
+
+Classic Moore-style partition refinement: states start grouped by
+their output behaviour and split until no input distinguishes two
+states of a block; each block then collapses to one state.  Encoding
+papers of the era (including this one's reference [14] lineage) assume
+the flow table has already been state-minimized — this module makes
+that preprocessing available, and the harness can apply it before
+deriving constraints.
+
+Incompletely specified machines are out of scope (compatible-state
+minimization is NP-hard and a different algorithm entirely); for those
+``reduce_states`` raises unless the unspecified behaviour is absent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .machine import DC_STATE, Fsm, Transition
+
+__all__ = ["reduce_states", "equivalent_state_classes", "ReductionResult"]
+
+
+class ReductionResult:
+    """Outcome of a state minimization."""
+
+    def __init__(
+        self,
+        fsm: Fsm,
+        classes: List[List[str]],
+        representative: Dict[str, str],
+    ) -> None:
+        self.fsm = fsm
+        self.classes = classes
+        self.representative = representative
+
+    @property
+    def removed(self) -> int:
+        return sum(len(c) - 1 for c in self.classes)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReductionResult({self.fsm.name!r}, "
+            f"{len(self.classes)} classes, removed={self.removed})"
+        )
+
+
+def _behavior(fsm: Fsm, state: str, inputs: str) -> Tuple[str, str]:
+    """(next, outputs) for a fully specified input vector."""
+    for t in fsm.transitions_from(state):
+        if all(p in ("-", ch) for p, ch in zip(t.inputs, inputs)):
+            return t.next, t.outputs
+    raise ValueError(
+        f"{fsm.name}: state {state} has no row for input {inputs}"
+    )
+
+
+def _check_supported(fsm: Fsm) -> None:
+    if not fsm.completely_specified():
+        raise ValueError(
+            f"{fsm.name} is incompletely specified; partition "
+            "refinement requires a completely specified machine"
+        )
+    for t in fsm.transitions:
+        if t.next == DC_STATE or "-" in t.outputs:
+            raise ValueError(
+                f"{fsm.name} has don't-care behaviour; partition "
+                "refinement requires fully specified rows"
+            )
+
+
+def equivalent_state_classes(fsm: Fsm) -> List[List[str]]:
+    """Equivalence classes of states (partition refinement).
+
+    Exponential in the number of inputs only through the input-vector
+    enumeration (2^n_inputs signature entries per state), which is fine
+    for the controller-sized machines this repository targets.
+    """
+    _check_supported(fsm)
+    states = fsm.states
+    vectors = [
+        format(x, f"0{fsm.n_inputs}b")
+        for x in range(1 << fsm.n_inputs)
+    ]
+    # initial partition: identical output behaviour on every input
+    block_of: Dict[str, int] = {}
+    signature_to_block: Dict[Tuple[str, ...], int] = {}
+    for s in states:
+        signature = tuple(_behavior(fsm, s, v)[1] for v in vectors)
+        block_of[s] = signature_to_block.setdefault(
+            signature, len(signature_to_block)
+        )
+    while True:
+        refine: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        new_block_of: Dict[str, int] = {}
+        for s in states:
+            successors = tuple(
+                block_of[_behavior(fsm, s, v)[0]] for v in vectors
+            )
+            key = (block_of[s], successors)
+            new_block_of[s] = refine.setdefault(key, len(refine))
+        if len(set(new_block_of.values())) == len(
+            set(block_of.values())
+        ):
+            block_of = new_block_of
+            break
+        block_of = new_block_of
+    classes: Dict[int, List[str]] = {}
+    for s in states:
+        classes.setdefault(block_of[s], []).append(s)
+    return [classes[b] for b in sorted(classes)]
+
+
+def reduce_states(fsm: Fsm) -> ReductionResult:
+    """Collapse equivalent states; returns the minimized machine.
+
+    The representative of each class is its first state in ``states``
+    order, so the reset state survives as itself.
+    """
+    classes = equivalent_state_classes(fsm)
+    representative: Dict[str, str] = {}
+    for group in classes:
+        rep = group[0]
+        for s in group:
+            representative[s] = rep
+    reduced = Fsm(fsm.name + "_min")
+    seen_rows = set()
+    for t in fsm.transitions:
+        if representative[t.present] != t.present:
+            continue  # only keep the representative's rows
+        row = (
+            t.inputs,
+            t.present,
+            representative[t.next],
+            t.outputs,
+        )
+        if row in seen_rows:
+            continue
+        seen_rows.add(row)
+        reduced.add(*row)
+    if fsm.reset_state is not None:
+        reduced.reset_state = representative[fsm.reset_state]
+    reduced.validate()
+    return ReductionResult(reduced, classes, representative)

@@ -1,0 +1,180 @@
+"""Seeded synthetic FSM generator.
+
+Used to stand in for IWLS-93 benchmark machines whose exact flow
+tables are not redistributable here (see DESIGN.md §2).  Given the
+published interface parameters ``(inputs, outputs, states, terms)``
+the generator produces a deterministic, connected, completely
+specified machine whose *symbolic structure* resembles a real
+controller — which is what the encoding experiments actually exercise:
+
+* the input space is tiled by a small set of shared *partition
+  templates* (recursive cube splitting); each state uses one template,
+  so rows of different states align on identical input cubes;
+* every ``(template, cube)`` slot has a *default behaviour* (next
+  state + output word) that most states follow, with per-state
+  deviations.  Groups of states following the same default produce
+  mergeable rows under multi-valued minimization — exactly the origin
+  of face constraints on the real benchmarks;
+* outputs come from a limited sparse alphabet and next states favour a
+  few hub states, giving the skewed structure real controllers have;
+* connectivity is guaranteed by retargeting one row per state along a
+  spanning tree, consuming *deviated* rows first so the shared
+  defaults (the source of the face constraints) survive.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, List, Sequence, Tuple
+
+from .machine import Fsm
+
+__all__ = ["synthesize_fsm"]
+
+
+def synthesize_fsm(
+    name: str,
+    n_inputs: int,
+    n_outputs: int,
+    n_states: int,
+    n_terms: int,
+    seed: int = 0,
+) -> Fsm:
+    """Generate a deterministic synthetic FSM with the given interface."""
+    if n_states < 1:
+        raise ValueError("need at least one state")
+    if n_terms < n_states:
+        n_terms = n_states
+    # zlib.crc32 is stable across processes (str.__hash__ is salted)
+    rng = random.Random(zlib.crc32(name.encode()) * 1000003 + seed)
+    states = [f"st{i}" for i in range(n_states)]
+    hubs = states[: max(1, n_states // 6)]
+    alphabet = _output_alphabet(rng, n_outputs, n_states)
+
+    # rows per state: `base` everywhere, +1 for `extra` states, so the
+    # total matches the published term count (input space permitting)
+    base = max(1, n_terms // n_states)
+    extra = max(0, n_terms - base * n_states)
+    big_states = set(rng.sample(states, min(extra, n_states)))
+    templates = {
+        size: _partition_inputs(rng, n_inputs, size)
+        for size in {base, base + 1}
+    }
+    # sparse machines cannot afford many deviations or nothing merges
+    deviation = 0.45 if base >= 2 else 0.25
+
+    defaults: Dict[int, List[Tuple[str, str]]] = {}
+    for size, template in templates.items():
+        defaults[size] = [
+            (
+                rng.choice(hubs + rng.sample(states, min(2, n_states))),
+                rng.choice(alphabet),
+            )
+            for _ in template
+        ]
+
+    fsm = Fsm(name)
+    deviated_rows: List[int] = []
+    for state in states:
+        size = base + 1 if state in big_states else base
+        template = templates[size]
+        slot_defaults = defaults[size]
+        pool = [state] + hubs + rng.sample(states, min(3, n_states))
+        for cube, (def_next, def_out) in zip(template, slot_defaults):
+            if rng.random() < deviation:
+                nxt = rng.choice(pool)
+                out = rng.choice(alphabet)
+                deviated_rows.append(len(fsm.transitions))
+            else:
+                nxt, out = def_next, def_out
+            fsm.add(cube, state, nxt, out)
+
+    _wire_spanning_tree(rng, fsm, states, set(deviated_rows))
+    fsm.reset_state = states[0]
+    fsm.validate()
+    return fsm
+
+
+def _output_alphabet(
+    rng: random.Random, n_outputs: int, n_states: int
+) -> List[str]:
+    """A limited set of output vectors, sparse like controller outputs."""
+    size = max(2, min(2 * n_states // 3 + 1, 10))
+    alphabet = {"0" * n_outputs}
+    attempts = 0
+    while len(alphabet) < size and attempts < 10 * size:
+        attempts += 1
+        word = ["0"] * n_outputs
+        for _ in range(max(1, n_outputs // 4)):
+            word[rng.randrange(n_outputs)] = "1"
+        alphabet.add("".join(word))
+    return sorted(alphabet)
+
+
+def _partition_inputs(
+    rng: random.Random, n_inputs: int, n_rows: int
+) -> List[str]:
+    """Split the input space into exactly ``n_rows`` disjoint cubes.
+
+    Recursive binary splitting on a randomly chosen still-free
+    variable; covers the whole space, rows are pairwise disjoint.
+    """
+    if n_inputs < 30:
+        n_rows = min(n_rows, 1 << n_inputs)
+    cubes = ["-" * n_inputs]
+    while len(cubes) < n_rows:
+        # split the cube with the most free positions
+        idx = max(range(len(cubes)), key=lambda i: cubes[i].count("-"))
+        cube = cubes.pop(idx)
+        free = [i for i, ch in enumerate(cube) if ch == "-"]
+        if not free:
+            cubes.append(cube)
+            break
+        var = rng.choice(free)
+        for bit in "01":
+            cubes.append(cube[:var] + bit + cube[var + 1 :])
+    rng.shuffle(cubes)
+    return cubes
+
+
+def _wire_spanning_tree(
+    rng: random.Random,
+    fsm: Fsm,
+    states: Sequence[str],
+    deviated_rows: set,
+) -> None:
+    """Guarantee reachability by retargeting edges along a spanning tree.
+
+    States are wired in index order: every state after the first gets
+    one incoming edge from an already-wired state with a free
+    transition slot.  Each slot is used for at most one child, so the
+    procedure always terminates (total slots >= number of states).
+    Deviated rows are consumed before default rows so the shared
+    defaults — the origin of the face constraints — survive wiring.
+    """
+    if len(states) <= 1:
+        return
+    by_state: Dict[str, List[int]] = {}
+    for i, t in enumerate(fsm.transitions):
+        by_state.setdefault(t.present, []).append(i)
+
+    def slot_order(slots: List[int]) -> List[int]:
+        rng.shuffle(slots)
+        # deviated last so .pop() takes them first
+        return sorted(slots, key=lambda i: i in deviated_rows)
+
+    free_slots: List[int] = slot_order(list(by_state.get(states[0], [])))
+    for child in states[1:]:
+        if not free_slots:
+            raise AssertionError(
+                "spanning-tree wiring ran out of transition slots"
+            )
+        idx = free_slots.pop()
+        old = fsm.transitions[idx]
+        fsm.transitions[idx] = type(old)(
+            old.inputs, old.present, child, old.outputs
+        )
+        free_slots = slot_order(
+            free_slots + list(by_state.get(child, []))
+        )

@@ -1,0 +1,7 @@
+"""``python -m repro.harness`` == the ``picola`` CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

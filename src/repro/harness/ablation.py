@@ -1,0 +1,87 @@
+"""Ablations of PICOLA's design choices (DESIGN.md experiments A-C).
+
+* A — guide constraints on/off (Section 3.2's claim: guides buy
+  economical implementations of infeasible constraints);
+* B — objective: the full PICOLA weight policy vs pure
+  dichotomy-counting vs constraint-counting (Section 2's rationale);
+* C — dynamic vs static classification (Section 5: "the detection is
+  dynamically done during the encoding process");
+* D — the final repair pass on/off (an implementation liberty of this
+  reproduction; see repro.core.repair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core import PicolaOptions, picola_encode
+from ..encoding import derive_face_constraints, evaluate_encoding
+from ..fsm import load_benchmark
+from .report import render_table
+from .table1 import QUICK_FSMS
+
+__all__ = ["ABLATION_VARIANTS", "AblationReport", "run_ablation"]
+
+ABLATION_VARIANTS: Dict[str, PicolaOptions] = {
+    "full": PicolaOptions(),
+    "no_guides": PicolaOptions(use_guides=False),
+    "static_classify": PicolaOptions(dynamic_classify=False),
+    "dichotomy_objective": PicolaOptions(weights="dichotomy_count"),
+    "constraint_objective": PicolaOptions(weights="constraint_count"),
+    "no_repair": PicolaOptions(final_repair=False),
+    "greedy_beam": PicolaOptions(beam_width=1, beam_candidates=1),
+}
+
+
+@dataclass
+class AblationReport:
+    variants: List[str]
+    cubes: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    satisfied: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def total(self, variant: str) -> int:
+        return sum(self.cubes[f][variant] for f in self.cubes)
+
+    def render(self) -> str:
+        headers = ["FSM"] + list(self.variants)
+        rows = []
+        for fsm in self.cubes:
+            rows.append(
+                [fsm] + [self.cubes[fsm][v] for v in self.variants]
+            )
+        footer = ["total"] + [self.total(v) for v in self.variants]
+        return render_table(
+            headers, rows,
+            title="Ablation - total constraint-implementation cubes "
+                  "per PICOLA variant",
+            footer=footer,
+        )
+
+
+def run_ablation(
+    fsms: Optional[Sequence[str]] = None,
+    variants: Optional[Sequence[str]] = None,
+    *,
+    verbose: bool = False,
+) -> AblationReport:
+    if fsms is None:
+        fsms = QUICK_FSMS
+    if variants is None:
+        variants = list(ABLATION_VARIANTS)
+    report = AblationReport(variants=list(variants))
+    for name in fsms:
+        fsm = load_benchmark(name)
+        cset = derive_face_constraints(fsm)
+        report.cubes[name] = {}
+        report.satisfied[name] = {}
+        for variant in variants:
+            result = picola_encode(
+                cset, options=ABLATION_VARIANTS[variant]
+            )
+            evaluation = evaluate_encoding(result.encoding, cset)
+            report.cubes[name][variant] = evaluation.total_cubes
+            report.satisfied[name][variant] = evaluation.n_satisfied
+        if verbose:
+            print(f"{name}: {report.cubes[name]}", flush=True)
+    return report

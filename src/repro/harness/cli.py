@@ -1,0 +1,200 @@
+"""Command-line interface: ``picola <command>``.
+
+Commands
+--------
+* ``table1`` — regenerate the paper's Table I (``--quick`` for the
+  small/medium subset).
+* ``table2`` — regenerate Table II (state assignment sizes/times).
+* ``ablation`` — the DESIGN.md ablations.
+* ``encode <file.kiss2>`` — state-assign one KISS2 machine and print
+  the encoding plus the minimized two-level size.
+* ``bench-list`` — list the registered benchmark machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..encoding import derive_face_constraints
+from ..fsm import BENCHMARKS, parse_kiss
+from ..stateassign import assign_states
+from .ablation import run_ablation
+from .table1 import QUICK_FSMS, run_table1
+from .table2 import QUICK_FSMS2, run_table2
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="picola",
+        description=(
+            "Face-constrained encoding with minimum code length "
+            "(DATE 1999 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="regenerate Table I")
+    p1.add_argument("--quick", action="store_true",
+                    help="small/medium FSM subset")
+    p1.add_argument("--fsm", nargs="*", default=None,
+                    help="explicit FSM list")
+    p1.add_argument("--no-enc", action="store_true",
+                    help="skip the (slow) ENC baseline")
+    p1.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the report as JSON")
+
+    p2 = sub.add_parser("table2", help="regenerate Table II")
+    p2.add_argument("--quick", action="store_true")
+    p2.add_argument("--fsm", nargs="*", default=None)
+    p2.add_argument("--json", default=None, metavar="PATH")
+
+    p3 = sub.add_parser("ablation", help="PICOLA design ablations")
+    p3.add_argument("--fsm", nargs="*", default=None)
+    p3.add_argument("--json", default=None, metavar="PATH")
+
+    p4 = sub.add_parser("encode", help="state-assign a KISS2 file")
+    p4.add_argument("kiss", help="path to a .kiss2 file")
+    p4.add_argument("--method", default="picola")
+
+    p5 = sub.add_parser(
+        "analyze",
+        help="explain a PICOLA run on a benchmark or KISS2 file",
+    )
+    p5.add_argument("target", help="benchmark name or .kiss2 path")
+
+    p6 = sub.add_parser(
+        "motivation",
+        help="code length vs implementation cost trade-off",
+    )
+    p6.add_argument("target", help="benchmark name or .kiss2 path")
+    p6.add_argument("--extra-bits", type=int, default=2)
+
+    p7 = sub.add_parser(
+        "export",
+        help="state-assign a machine and write BLIF/Verilog netlists",
+    )
+    p7.add_argument("target", help="benchmark name or .kiss2 path")
+    p7.add_argument("--method", default="picola")
+    p7.add_argument("--format", choices=["blif", "verilog", "both"],
+                    default="both")
+    p7.add_argument("--out", default=".", help="output directory")
+
+    p8 = sub.add_parser(
+        "sweep",
+        help="seed-stability sweep of the Table I comparison",
+    )
+    p8.add_argument("--seeds", type=int, nargs="*", default=[0, 1, 2])
+    p8.add_argument("--fsm", nargs="*", default=None)
+
+    sub.add_parser("bench-list", help="list benchmark machines")
+    return parser
+
+
+def _load_target(target: str):
+    from ..fsm import BENCHMARKS, load_benchmark
+
+    if target in BENCHMARKS:
+        return load_benchmark(target)
+    with open(target) as handle:
+        return parse_kiss(handle.read(), name=target)
+
+
+def _maybe_json(report, path: Optional[str]) -> None:
+    if path is None:
+        return
+    from .serialize import to_json
+
+    with open(path, "w") as handle:
+        handle.write(to_json(report))
+    print(f"wrote {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "table1":
+        fsms = args.fsm or (QUICK_FSMS if args.quick else None)
+        report = run_table1(
+            fsms, include_enc=not args.no_enc, verbose=True
+        )
+        print(report.render())
+        _maybe_json(report, args.json)
+    elif args.command == "table2":
+        fsms = args.fsm or (QUICK_FSMS2 if args.quick else None)
+        report = run_table2(fsms, verbose=True)
+        print(report.render())
+        _maybe_json(report, args.json)
+    elif args.command == "ablation":
+        report = run_ablation(args.fsm, verbose=True)
+        print(report.render())
+        _maybe_json(report, args.json)
+    elif args.command == "encode":
+        with open(args.kiss) as handle:
+            fsm = parse_kiss(handle.read(), name=args.kiss)
+        result = assign_states(fsm, args.method)
+        print(result.encoding.as_table())
+        print(result.summary())
+    elif args.command == "analyze":
+        from ..core import analyze_result, picola_encode
+
+        fsm = _load_target(args.target)
+        cset = derive_face_constraints(fsm)
+        print(
+            f"{fsm.name}: {fsm.n_states} states, "
+            f"{len(cset.nontrivial())} face constraints, "
+            f"nv={cset.min_code_length()}"
+        )
+        print(analyze_result(picola_encode(cset)).render())
+    elif args.command == "motivation":
+        from ..encoding import length_tradeoff
+
+        fsm = _load_target(args.target)
+        cset = derive_face_constraints(fsm)
+        print(f"{fsm.name}: length trade-off")
+        for p in length_tradeoff(cset, max_extra_bits=args.extra_bits):
+            print(
+                f"  nv={p.nv}: satisfied {p.satisfied}/{p.total}, "
+                f"cubes={p.cubes}, area~{p.area_proxy}"
+            )
+    elif args.command == "export":
+        import os
+
+        from ..export import assignment_to_blif, assignment_to_verilog
+
+        fsm = _load_target(args.target)
+        result = assign_states(fsm, args.method)
+        base = os.path.join(args.out, fsm.name.replace("/", "_"))
+        if args.format in ("blif", "both"):
+            path = base + ".blif"
+            with open(path, "w") as handle:
+                handle.write(assignment_to_blif(result))
+            print(f"wrote {path}")
+        if args.format in ("verilog", "both"):
+            path = base + ".v"
+            with open(path, "w") as handle:
+                handle.write(assignment_to_verilog(result))
+            print(f"wrote {path}")
+        print(result.summary())
+    elif args.command == "sweep":
+        from .sweep import run_seed_sweep
+
+        report = run_seed_sweep(
+            args.fsm, seeds=tuple(args.seeds), verbose=True
+        )
+        print(report.render())
+    elif args.command == "bench-list":
+        for name, spec in sorted(BENCHMARKS.items()):
+            scaled = f"  [scaled from {spec.scaled_from}]" \
+                if spec.scaled_from else ""
+            print(
+                f"{name}: {spec.inputs}i/{spec.outputs}o/"
+                f"{spec.states}s/{spec.terms}p ({spec.source}){scaled}"
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Plain-text table rendering shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+__all__ = ["render_table", "fmt"]
+
+Cell = Union[str, int, float, None]
+
+
+def fmt(value: Cell, ratio: bool = False) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+    footer: Optional[Sequence[Cell]] = None,
+) -> str:
+    """Align columns; first column left, the rest right."""
+    table: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    if footer is not None:
+        table.append([fmt(c) for c in footer])
+    widths = [len(h) for h in headers]
+    for row in table:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        out = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                out.append(cell.ljust(widths[i]))
+            else:
+                out.append(cell.rjust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    for i, row in enumerate(table):
+        if footer is not None and i == len(table) - 1:
+            parts.append(line(["-" * w for w in widths]))
+        parts.append(line(row))
+    return "\n".join(parts)

@@ -1,0 +1,103 @@
+"""Machine-readable serialization of the experiment reports.
+
+``to_dict``/``to_json`` for the Table I / Table II / ablation reports,
+so downstream tooling (plots, regression tracking) can consume runs
+without scraping the rendered text tables.  The CLI exposes it as
+``--json <path>`` on each experiment command.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .ablation import AblationReport
+from .table1 import Table1Report
+from .table2 import Table2Report
+
+__all__ = ["to_dict", "to_json"]
+
+
+def _table1(report: Table1Report) -> Dict[str, Any]:
+    return {
+        "experiment": "table1",
+        "rows": [
+            {
+                "fsm": r.fsm,
+                "constraints": r.n_constraints,
+                "cubes": {
+                    "nova": r.cubes_nova,
+                    "enc": r.cubes_enc,
+                    "picola": r.cubes_picola,
+                },
+                "enc_attempted": r.enc_attempted,
+                "seconds": {
+                    "nova": r.seconds_nova,
+                    "enc": r.seconds_enc,
+                    "picola": r.seconds_picola,
+                },
+                "paper": {
+                    "constraints": r.paper_constraints,
+                    "nova": r.paper_nova,
+                    "picola": r.paper_picola,
+                },
+            }
+            for r in report.rows
+        ],
+        "summary": {
+            "picola_wins": report.picola_wins,
+            "nova_wins": report.nova_wins,
+            "ties": report.ties,
+            "nova_overhead": report.nova_overhead,
+        },
+    }
+
+
+def _table2(report: Table2Report) -> Dict[str, Any]:
+    return {
+        "experiment": "table2",
+        "rows": [
+            {
+                "fsm": r.fsm,
+                "sizes": dict(r.sizes),
+                "seconds": dict(r.seconds),
+                "time_ratios": {
+                    m: r.time_ratio(m) for m in r.sizes
+                },
+            }
+            for r in report.rows
+        ],
+        "summary": {
+            "totals": {
+                m: report.total_size(m)
+                for m in (report.rows[0].sizes if report.rows else {})
+            },
+        },
+    }
+
+
+def _ablation(report: AblationReport) -> Dict[str, Any]:
+    return {
+        "experiment": "ablation",
+        "variants": list(report.variants),
+        "cubes": {f: dict(v) for f, v in report.cubes.items()},
+        "satisfied": {
+            f: dict(v) for f, v in report.satisfied.items()
+        },
+        "totals": {v: report.total(v) for v in report.variants},
+    }
+
+
+def to_dict(report: Any) -> Dict[str, Any]:
+    """Dispatch on report type."""
+    if isinstance(report, Table1Report):
+        return _table1(report)
+    if isinstance(report, Table2Report):
+        return _table2(report)
+    if isinstance(report, AblationReport):
+        return _ablation(report)
+    raise TypeError(f"unknown report type {type(report).__name__}")
+
+
+def to_json(report: Any, indent: int = 2) -> str:
+    return json.dumps(to_dict(report), indent=indent)

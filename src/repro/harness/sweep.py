@@ -1,0 +1,140 @@
+"""Seed-stability sweep: are the conclusions generator-independent?
+
+The benchmark machines are seeded synthetic stand-ins (DESIGN.md §2),
+so a fair question is whether Table I's conclusions depend on the
+particular draw.  ``run_seed_sweep`` regenerates the quick Table I
+comparison under several FSM-generator seeds and reports, per seed,
+the PICOLA/NOVA totals and win-loss record, plus aggregate mean and
+spread — the reproduction's robustness check.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines import nova_encode
+from ..core import picola_encode
+from ..encoding import derive_face_constraints, evaluate_encoding
+from ..fsm import BENCHMARKS, load_benchmark
+from .report import render_table
+from .table1 import QUICK_FSMS
+
+__all__ = ["SeedSweepReport", "run_seed_sweep"]
+
+
+@dataclass
+class SeedOutcome:
+    seed: int
+    total_picola: int
+    total_nova: int
+    picola_wins: int
+    nova_wins: int
+    ties: int
+
+    @property
+    def nova_overhead(self) -> float:
+        if not self.total_picola:
+            return 0.0
+        return (
+            self.total_nova - self.total_picola
+        ) / self.total_picola
+
+
+@dataclass
+class SeedSweepReport:
+    fsms: List[str]
+    outcomes: List[SeedOutcome] = field(default_factory=list)
+
+    def mean_overhead(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.nova_overhead for o in self.outcomes) / len(
+            self.outcomes
+        )
+
+    def overhead_stddev(self) -> float:
+        n = len(self.outcomes)
+        if n < 2:
+            return 0.0
+        mean = self.mean_overhead()
+        var = sum(
+            (o.nova_overhead - mean) ** 2 for o in self.outcomes
+        ) / (n - 1)
+        return math.sqrt(var)
+
+    def picola_never_behind(self) -> bool:
+        return all(
+            o.total_picola <= o.total_nova for o in self.outcomes
+        )
+
+    def render(self) -> str:
+        rows = [
+            [
+                f"seed {o.seed}",
+                o.total_picola,
+                o.total_nova,
+                f"{100 * o.nova_overhead:.1f}%",
+                o.picola_wins,
+                o.nova_wins,
+                o.ties,
+            ]
+            for o in self.outcomes
+        ]
+        table = render_table(
+            [
+                "run", "PICOLA", "NOVA", "overhead",
+                "P-wins", "N-wins", "ties",
+            ],
+            rows,
+            title="Seed sweep - Table I stability across FSM draws",
+        )
+        return table + (
+            f"\nmean NOVA overhead {100 * self.mean_overhead():.1f}% "
+            f"(stddev {100 * self.overhead_stddev():.1f} points) over "
+            f"{len(self.outcomes)} seeds"
+        )
+
+
+def run_seed_sweep(
+    fsms: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    *,
+    nova_seed: int = 1,
+    verbose: bool = False,
+) -> SeedSweepReport:
+    """Re-run the quick Table I comparison for several FSM draws."""
+    if fsms is None:
+        fsms = [f for f in QUICK_FSMS if BENCHMARKS[f].source != "file"]
+    report = SeedSweepReport(fsms=list(fsms))
+    for seed in seeds:
+        total_p = total_n = wins_p = wins_n = ties = 0
+        for name in fsms:
+            fsm = load_benchmark(name, seed=seed)
+            cset = derive_face_constraints(fsm)
+            pic = picola_encode(cset)
+            nov = nova_encode(cset, seed=nova_seed)
+            cubes_p = evaluate_encoding(pic.encoding, cset).total_cubes
+            cubes_n = evaluate_encoding(nov.encoding, cset).total_cubes
+            total_p += cubes_p
+            total_n += cubes_n
+            wins_p += cubes_p < cubes_n
+            wins_n += cubes_n < cubes_p
+            ties += cubes_p == cubes_n
+        outcome = SeedOutcome(
+            seed=seed,
+            total_picola=total_p,
+            total_nova=total_n,
+            picola_wins=wins_p,
+            nova_wins=wins_n,
+            ties=ties,
+        )
+        report.outcomes.append(outcome)
+        if verbose:
+            print(
+                f"seed {seed}: picola={total_p} nova={total_n}",
+                flush=True,
+            )
+    return report

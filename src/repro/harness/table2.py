@@ -1,0 +1,121 @@
+"""Table II: state assignment — two-level size and normalized time.
+
+The paper's Table II implements the combinational component of each
+IWLS-93 FSM in two levels under three state assignments — NOVA
+``i_hybrid``, NOVA ``io_hybrid`` and the NEW (PICOLA-based) tool — and
+reports the minimized product-term count ("size") plus run times
+normalized to NOVA i_hybrid.  This module regenerates those rows and
+the totals line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..encoding import derive_face_constraints
+from ..fsm import TABLE2_FSMS, load_benchmark
+from ..stateassign import assign_states
+from .report import render_table
+
+__all__ = ["Table2Row", "Table2Report", "run_table2", "QUICK_FSMS2"]
+
+#: subset used by --quick runs and the test-suite
+QUICK_FSMS2 = ["dk16", "donfile", "ex2", "keyb", "tma", "s386"]
+
+#: the Table II methods, in the paper's column order
+TABLE2_METHODS = ("nova_ih", "nova_ioh", "picola")
+
+
+@dataclass
+class Table2Row:
+    fsm: str
+    sizes: Dict[str, int]
+    seconds: Dict[str, float]
+
+    def time_ratio(self, method: str) -> Optional[float]:
+        base = self.seconds.get("nova_ih")
+        if not base:
+            return None
+        return self.seconds[method] / base
+
+
+@dataclass
+class Table2Report:
+    rows: List[Table2Row] = field(default_factory=list)
+
+    def total_size(self, method: str) -> int:
+        return sum(r.sizes[method] for r in self.rows)
+
+    def render(self) -> str:
+        headers = [
+            "FSM",
+            "NOVA-ih size", "time",
+            "NOVA-ioh size", "time",
+            "NEW size", "time",
+        ]
+        rows = []
+        for r in self.rows:
+            rows.append([
+                r.fsm,
+                r.sizes["nova_ih"], r.time_ratio("nova_ih"),
+                r.sizes["nova_ioh"], r.time_ratio("nova_ioh"),
+                r.sizes["picola"], r.time_ratio("picola"),
+            ])
+        footer = [
+            "total",
+            self.total_size("nova_ih"), None,
+            self.total_size("nova_ioh"), None,
+            self.total_size("picola"), None,
+        ]
+        table = render_table(
+            headers, rows,
+            title="Table II - state assignment: two-level size and "
+                  "time (normalized to NOVA i_hybrid)",
+            footer=footer,
+        )
+        new = self.total_size("picola")
+        ih = self.total_size("nova_ih")
+        ioh = self.total_size("nova_ioh")
+        summary = (
+            f"\nNEW total {new} vs NOVA-ih {ih} "
+            f"({100 * (ih - new) / max(new, 1):+.1f}%) and NOVA-ioh "
+            f"{ioh} ({100 * (ioh - new) / max(new, 1):+.1f}%) "
+            f"(paper: NEW compares favorably to both)"
+        )
+        return table + summary
+
+
+def run_table2(
+    fsms: Optional[Sequence[str]] = None,
+    *,
+    seed: int = 1,
+    verbose: bool = False,
+) -> Table2Report:
+    """Regenerate Table II over the given FSM list (default: all rows)."""
+    if fsms is None:
+        fsms = TABLE2_FSMS
+    report = Table2Report()
+    for name in fsms:
+        fsm = load_benchmark(name)
+        # all methods see the identical input-encoding problem
+        cset = derive_face_constraints(fsm)
+        sizes: Dict[str, int] = {}
+        seconds: Dict[str, float] = {}
+        for method in TABLE2_METHODS:
+            result = assign_states(
+                fsm, method, seed=seed, constraints=cset
+            )
+            sizes[method] = result.size
+            seconds[method] = result.encode_seconds
+        report.rows.append(
+            Table2Row(fsm=name, sizes=sizes, seconds=seconds)
+        )
+        if verbose:
+            print(
+                f"{name}: " + " ".join(
+                    f"{m}={sizes[m]}" for m in TABLE2_METHODS
+                ),
+                flush=True,
+            )
+    return report

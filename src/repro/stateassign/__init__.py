@@ -1,0 +1,5 @@
+"""State assignment built on PICOLA (the paper's Section 4 tool)."""
+
+from .tool import METHODS, AssignmentResult, assign_states
+
+__all__ = ["METHODS", "AssignmentResult", "assign_states"]

@@ -1,0 +1,202 @@
+"""The state-assignment tool of the paper's Section 4.
+
+Pipeline (the paper's two-step strategy with PICOLA at its core):
+
+1. model the FSM as an input-encoding problem (present state = one
+   multi-valued variable, next state one-hot);
+2. multi-valued minimization -> face constraints, weighted by how many
+   symbolic implicants need each face;
+3. encode the states with minimum code length — PICOLA for the NEW
+   tool, or any of the baselines for comparison;
+4. build the encoded machine's PLA and minimize it with espresso; the
+   product-term count is the paper's Table II "size".
+
+``assign_states`` runs the whole pipeline for one method and returns
+an :class:`AssignmentResult` with the measured wall-clock time of the
+encoding step (Table II's normalized "time").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..baselines import (
+    enc_encode,
+    gray_encoding,
+    natural_encoding,
+    nova_encode,
+    random_encoding,
+    state_affinity,
+)
+from ..core import PicolaOptions, picola_encode
+from ..encoding import ConstraintSet, Encoding, derive_face_constraints
+from ..espresso import EspressoStats, Pla, espresso_pla
+from ..fsm import Fsm, encode_fsm
+
+__all__ = ["AssignmentResult", "assign_states", "METHODS"]
+
+METHODS = (
+    "picola",
+    "nova_ih",
+    "nova_ioh",
+    "nova_greedy",
+    "enc",
+    "mustang_p",
+    "mustang_n",
+    "natural",
+    "gray",
+    "random",
+)
+
+
+@dataclass
+class AssignmentResult:
+    """Outcome of one state assignment + two-level implementation."""
+
+    fsm: Fsm
+    method: str
+    encoding: Encoding
+    constraints: ConstraintSet
+    pla: Pla
+    minimized: Pla
+    encode_seconds: float
+    minimize_seconds: float
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Product terms of the minimized two-level implementation."""
+        return self.minimized.num_terms()
+
+    @property
+    def literals(self) -> int:
+        return self.minimized.literal_count()
+
+    @property
+    def area(self) -> int:
+        return self.minimized.gate_area()
+
+    def summary(self) -> str:
+        return (
+            f"{self.fsm.name}/{self.method}: size={self.size} "
+            f"terms, {self.literals} literals, "
+            f"encode {self.encode_seconds:.3f}s"
+        )
+
+
+def _encode(
+    fsm: Fsm,
+    cset: ConstraintSet,
+    method: str,
+    seed: int,
+    picola_options: Optional[PicolaOptions],
+    extra: Dict[str, object],
+) -> Encoding:
+    if method == "picola":
+        result = picola_encode(cset, options=picola_options)
+        extra["satisfied"] = len(result.satisfied)
+        extra["guided"] = len(result.infeasible)
+        return result.encoding
+    if method in ("nova_ih", "nova_ioh", "nova_greedy"):
+        variant = {
+            "nova_ih": "i_hybrid",
+            "nova_ioh": "io_hybrid",
+            "nova_greedy": "i_greedy",
+        }[method]
+        affinity = state_affinity(fsm) if variant == "io_hybrid" else None
+        result = nova_encode(
+            cset, variant=variant, affinity=affinity, seed=seed
+        )
+        extra["satisfied"] = result.satisfied
+        return result.encoding
+    if method in ("mustang_p", "mustang_n"):
+        from ..baselines import mustang_encode
+
+        result = mustang_encode(
+            fsm, cset.min_code_length(),
+            variant=method[-1], seed=seed,
+        )
+        extra["attraction"] = result.attraction
+        return result.encoding
+    if method == "enc":
+        result = enc_encode(cset, seed=seed)
+        extra["converged"] = result.converged
+        extra["minimizations"] = result.minimizations
+        return result.encoding
+    if method == "natural":
+        return natural_encoding(list(cset.symbols))
+    if method == "gray":
+        return gray_encoding(list(cset.symbols))
+    if method == "random":
+        return random_encoding(list(cset.symbols), seed=seed)
+    raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+
+
+def assign_states(
+    fsm: Fsm,
+    method: str = "picola",
+    *,
+    seed: int = 0,
+    picola_options: Optional[PicolaOptions] = None,
+    constraints: Optional[ConstraintSet] = None,
+    minimize: bool = True,
+    reduce: bool = False,
+    sparse: bool = False,
+) -> AssignmentResult:
+    """State-assign ``fsm`` and implement it in two levels.
+
+    ``constraints`` may be passed in to share the symbolic
+    minimization across methods (the harness does this so all tools
+    see the identical input-encoding problem).  ``reduce=True`` runs
+    completely-specified state minimization first (it raises on
+    machines with don't-care behaviour); ``sparse=True`` adds the
+    MAKE_SPARSE literal-reduction pass after espresso.
+    """
+    if reduce:
+        from ..fsm import reduce_states
+
+        reduction = reduce_states(fsm)
+        if reduction.removed:
+            fsm = reduction.fsm
+            constraints = None  # stale against the new state set
+    if constraints is None:
+        constraints = derive_face_constraints(fsm)
+    extra: Dict[str, object] = {}
+    t0 = time.perf_counter()
+    encoding = _encode(
+        fsm, constraints, method, seed, picola_options, extra
+    )
+    encode_seconds = time.perf_counter() - t0
+
+    pla = encode_fsm(
+        fsm,
+        {s: encoding.code_of(s) for s in encoding.symbols},
+        n_bits=encoding.n_bits,
+    )
+    t0 = time.perf_counter()
+    if minimize:
+        stats = EspressoStats()
+        minimized = espresso_pla(pla, stats=stats, use_lastgasp=False)
+        extra["espresso_iterations"] = stats.iterations
+        if sparse:
+            from ..espresso import make_sparse
+
+            minimized.onset = make_sparse(
+                minimized.space, minimized.onset, pla.dcset
+            )
+    else:
+        minimized = pla
+    minimize_seconds = time.perf_counter() - t0
+    return AssignmentResult(
+        fsm=fsm,
+        method=method,
+        encoding=encoding,
+        constraints=constraints,
+        pla=pla,
+        minimized=minimized,
+        encode_seconds=encode_seconds,
+        minimize_seconds=minimize_seconds,
+        extra=extra,
+    )

@@ -1,0 +1,202 @@
+"""Tests for the NOVA-, ENC-style and trivial baseline encoders."""
+
+import pytest
+
+from repro.baselines import (
+    EncBudgetExceeded,
+    best_random_encoding,
+    enc_encode,
+    gray_encoding,
+    natural_encoding,
+    nova_encode,
+    random_encoding,
+    state_affinity,
+)
+from repro.encoding import ConstraintSet, FaceConstraint
+from repro.fsm import parse_kiss
+
+
+def cset_of(n, groups):
+    syms = [f"s{i}" for i in range(n)]
+    return ConstraintSet(
+        syms, [FaceConstraint({f"s{i}" for i in g}) for g in groups]
+    )
+
+
+class TestSimpleEncoders:
+    def test_natural(self):
+        enc = natural_encoding(["a", "b", "c"])
+        assert enc.codes == {"a": 0, "b": 1, "c": 2}
+        assert enc.n_bits == 2
+
+    def test_gray_adjacent_codes(self):
+        enc = gray_encoding([f"s{i}" for i in range(8)])
+        codes = [enc.codes[f"s{i}"] for i in range(8)]
+        for a, b in zip(codes, codes[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    def test_random_is_injective_and_seeded(self):
+        syms = [f"s{i}" for i in range(9)]
+        a = random_encoding(syms, seed=3)
+        b = random_encoding(syms, seed=3)
+        c = random_encoding(syms, seed=4)
+        assert a.codes == b.codes
+        assert a.is_injective()
+        assert a.codes != c.codes
+
+    def test_too_small_nv_rejected(self):
+        with pytest.raises(ValueError):
+            natural_encoding(["a", "b", "c"], nv=1)
+
+    def test_best_random_scores_by_satisfaction(self):
+        cs = cset_of(4, [[0, 1]])
+        enc = best_random_encoding(cs, trials=16)
+        assert enc.satisfies({"s0", "s1"})
+
+
+class TestNova:
+    def test_satisfies_easy_constraints(self):
+        cs = cset_of(8, [[0, 1], [2, 3], [4, 5, 6, 7]])
+        result = nova_encode(cs, seed=1)
+        assert result.satisfied == 3
+        assert result.encoding.is_injective()
+
+    def test_variants(self):
+        cs = cset_of(6, [[0, 1], [2, 3]])
+        for variant in ("i_greedy", "i_hybrid"):
+            result = nova_encode(cs, variant=variant, seed=2)
+            assert result.encoding.is_injective()
+            assert result.variant == variant
+
+    def test_io_hybrid_uses_affinity(self):
+        cs = cset_of(4, [])
+        affinity = {("s0", "s1"): 5.0}
+        result = nova_encode(
+            cs, variant="io_hybrid", affinity=affinity, seed=0
+        )
+        # the affinity bonus should pull s0 and s1 close together
+        dist = bin(
+            result.encoding.code_of("s0") ^ result.encoding.code_of("s1")
+        ).count("1")
+        assert dist == 1
+
+    def test_unknown_variant_rejected(self):
+        cs = cset_of(4, [])
+        with pytest.raises(ValueError):
+            nova_encode(cs, variant="nope")
+
+    def test_deterministic_per_seed(self):
+        cs = cset_of(9, [[0, 1, 2], [3, 4]])
+        a = nova_encode(cs, seed=7).encoding.codes
+        b = nova_encode(cs, seed=7).encoding.codes
+        assert a == b
+
+
+class TestEnc:
+    def test_improves_over_natural(self):
+        cs = cset_of(8, [[0, 7], [1, 6]])  # natural numbering violates
+        result = enc_encode(cs, max_minimizations=3000)
+        assert result.converged
+        assert result.encoding.is_injective()
+        # two pair constraints are always satisfiable in B^3
+        assert result.total_cubes == 2
+
+    def test_budget_failure_nonstrict(self):
+        cs = cset_of(10, [[0, 1, 2], [3, 4, 5], [6, 7, 8]])
+        result = enc_encode(cs, max_minimizations=5)
+        assert not result.converged
+        assert result.encoding.is_injective()
+
+    def test_budget_failure_strict_raises(self):
+        cs = cset_of(10, [[0, 1, 2], [3, 4, 5], [6, 7, 8]])
+        with pytest.raises(EncBudgetExceeded):
+            enc_encode(cs, max_minimizations=5, strict=True)
+
+    def test_counts_minimizations(self):
+        cs = cset_of(4, [[0, 1]])
+        result = enc_encode(cs)
+        assert result.minimizations > 0
+
+
+class TestStateAffinity:
+    def test_common_fanout_earns_weight(self):
+        fsm = parse_kiss(
+            """
+.i 1
+.o 1
+.r a
+0 a c 0
+1 a a 0
+0 b c 0
+1 b b 0
+0 c c 1
+1 c a 1
+"""
+        )
+        affinity = state_affinity(fsm)
+        assert affinity.get(("a", "b"), 0) > 0  # both go to c on 0
+
+
+class TestMustang:
+    def test_variants_run(self):
+        fsm = parse_kiss(
+            """
+.i 1
+.o 1
+.r a
+0 a c 0
+1 a a 0
+0 b c 0
+1 b b 0
+0 c c 1
+1 c a 1
+"""
+        )
+        from repro.baselines import mustang_encode
+
+        for variant in ("p", "n"):
+            result = mustang_encode(fsm, variant=variant, seed=2)
+            assert result.encoding.is_injective()
+            assert result.variant == variant
+
+    def test_attracted_states_get_close_codes(self):
+        from repro.baselines import attraction_graph, mustang_encode
+
+        fsm = parse_kiss(
+            """
+.i 1
+.o 1
+.r a
+0 a c 1
+1 a a 0
+0 b c 1
+1 b b 0
+0 c c 0
+1 c d 0
+0 d d 0
+1 d a 0
+"""
+        )
+        graph = attraction_graph(fsm, "p")
+        assert graph.get(("a", "b"), 0) > 0
+        result = mustang_encode(fsm, variant="p", seed=1)
+        dist = bin(
+            result.encoding.code_of("a") ^ result.encoding.code_of("b")
+        ).count("1")
+        assert dist == 1
+
+    def test_unknown_variant_rejected(self):
+        from repro.baselines import attraction_graph
+
+        fsm = parse_kiss(".i 1\n.o 1\n.r a\n0 a a 1\n1 a a 0\n")
+        with pytest.raises(ValueError):
+            attraction_graph(fsm, "x")
+
+    def test_deterministic(self):
+        from repro.baselines import mustang_encode
+        from repro.fsm import load_benchmark
+
+        fsm = load_benchmark("lion9")
+        a = mustang_encode(fsm, seed=5).encoding.codes
+        b = mustang_encode(fsm, seed=5).encoding.codes
+        assert a == b

@@ -1,0 +1,49 @@
+"""CLI error handling and option coverage."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestCliErrors:
+    def test_no_command_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_encode_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            main(["encode", "/nonexistent/machine.kiss2"])
+
+    def test_analyze_missing_target(self):
+        with pytest.raises(FileNotFoundError):
+            main(["analyze", "/nonexistent/machine.kiss2"])
+
+    def test_encode_with_method(self, tmp_path, capsys):
+        kiss = tmp_path / "m.kiss2"
+        kiss.write_text(
+            ".i 1\n.o 1\n.r a\n0 a a 0\n1 a b 1\n0 b b 1\n1 b a 0\n.e\n"
+        )
+        assert main(["encode", str(kiss), "--method", "gray"]) == 0
+        out = capsys.readouterr().out
+        assert "gray" in out
+
+    def test_export_verilog_only(self, tmp_path, capsys):
+        assert main([
+            "export", "seq101", "--format", "verilog",
+            "--out", str(tmp_path),
+        ]) == 0
+        assert (tmp_path / "seq101.v").exists()
+        assert not (tmp_path / "seq101.blif").exists()
+
+    def test_analyze_accepts_kiss_path(self, tmp_path, capsys):
+        kiss = tmp_path / "m.kiss2"
+        kiss.write_text(
+            ".i 1\n.o 1\n.r a\n0 a b 1\n1 a a 0\n0 b a 1\n1 b b 0\n.e\n"
+        )
+        assert main(["analyze", str(kiss)]) == 0
+        out = capsys.readouterr().out
+        assert "face constraints" in out

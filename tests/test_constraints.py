@@ -1,0 +1,249 @@
+"""Tests for face constraints, dichotomies, encodings and the
+marked constraint matrix."""
+
+import pytest
+
+from repro.encoding import (
+    ConstraintMatrix,
+    ConstraintSet,
+    Encoding,
+    FaceConstraint,
+    SeedDichotomy,
+    face_of,
+)
+
+
+class TestFaceConstraint:
+    def test_basic(self):
+        c = FaceConstraint({"a", "b"})
+        assert len(c) == 2
+        assert "a" in c and "z" not in c
+        assert not c.is_guide()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FaceConstraint([])
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaceConstraint({"a"}, kind="weird")
+
+    def test_min_dimension(self):
+        assert FaceConstraint({"a"}).min_dimension() == 0
+        assert FaceConstraint({"a", "b"}).min_dimension() == 1
+        assert FaceConstraint({"a", "b", "c"}).min_dimension() == 2
+        assert FaceConstraint("abcd").min_dimension() == 2
+        assert FaceConstraint("abcde").min_dimension() == 3
+
+    def test_seed_dichotomies(self):
+        c = FaceConstraint({"a", "b"})
+        ds = c.seed_dichotomies(["a", "b", "c", "d"])
+        assert len(ds) == 2
+        assert {d.outsider for d in ds} == {"c", "d"}
+
+    def test_guide_records_parent(self):
+        g = FaceConstraint({"x"}, kind="guide", parent={"a", "b"})
+        assert g.is_guide()
+        assert g.parent == frozenset({"a", "b"})
+
+    def test_frozen_and_hashable(self):
+        c1 = FaceConstraint({"a", "b"})
+        c2 = FaceConstraint({"b", "a"})
+        assert c1 == c2
+        assert len({c1, c2}) == 1
+
+
+class TestSeedDichotomy:
+    def test_outsider_cannot_be_inside(self):
+        with pytest.raises(ValueError):
+            SeedDichotomy({"a", "b"}, "a")
+
+    def test_satisfied_by_column(self):
+        d = SeedDichotomy({"a", "b"}, "c")
+        assert d.satisfied_by_column({"a": 1, "b": 1, "c": 0})
+        assert d.satisfied_by_column({"a": 0, "b": 0, "c": 1})
+        assert not d.satisfied_by_column({"a": 1, "b": 0, "c": 0})
+        assert not d.satisfied_by_column({"a": 1, "b": 1, "c": 1})
+
+
+class TestConstraintSet:
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            ConstraintSet(["a", "a"])
+
+    def test_unknown_symbol_rejected(self):
+        cs = ConstraintSet(["a", "b"])
+        with pytest.raises(ValueError):
+            cs.add(FaceConstraint({"z"}))
+
+    def test_min_code_length(self):
+        assert ConstraintSet(["a"]).min_code_length() == 1
+        assert ConstraintSet(list("ab")).min_code_length() == 1
+        assert ConstraintSet(list("abc")).min_code_length() == 2
+        assert ConstraintSet(list("abcdefghi")).min_code_length() == 4
+
+    def test_nontrivial_filters(self):
+        syms = list("abcd")
+        cs = ConstraintSet(
+            syms,
+            [
+                FaceConstraint({"a"}),  # singleton: trivial
+                FaceConstraint({"a", "b"}),
+                FaceConstraint(syms),  # full set: trivial
+            ],
+        )
+        assert len(cs.nontrivial()) == 1
+
+    def test_as_matrix(self):
+        cs = ConstraintSet(
+            ["a", "b", "c"], [FaceConstraint({"a", "c"})]
+        )
+        assert cs.as_matrix() == [[1, 0, 1]]
+
+
+class TestFaceOf:
+    def test_single_code(self):
+        mask, value = face_of([0b101], 3)
+        assert mask == 0b111 and value == 0b101
+
+    def test_pair(self):
+        mask, value = face_of([0b000, 0b010], 3)
+        assert mask == 0b101 and value == 0b000
+
+    def test_full_spread(self):
+        mask, value = face_of([0, 7], 3)
+        assert mask == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            face_of([], 3)
+
+
+class TestEncoding:
+    def test_injectivity_check(self):
+        enc = Encoding(["a", "b"], {"a": 0, "b": 0}, 1)
+        assert not enc.is_injective()
+
+    def test_missing_code_rejected(self):
+        with pytest.raises(ValueError):
+            Encoding(["a", "b"], {"a": 0}, 1)
+
+    def test_code_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            Encoding(["a"], {"a": 4}, 2)
+
+    def test_bits_and_columns(self):
+        enc = Encoding(["a", "b", "c"], {"a": 0b00, "b": 0b01, "c": 0b10}, 2)
+        assert enc.bit("b", 0) == 0  # MSB
+        assert enc.bit("b", 1) == 1
+        assert enc.column(0) == {"a": 0, "b": 0, "c": 1}
+
+    def test_from_columns_roundtrip(self):
+        enc = Encoding(["a", "b", "c"], {"a": 0, "b": 3, "c": 2}, 2)
+        again = Encoding.from_columns(enc.symbols, enc.columns())
+        assert again.codes == enc.codes
+
+    def test_unused_codes(self):
+        enc = Encoding(["a", "b", "c"], {"a": 0, "b": 1, "c": 2}, 2)
+        assert enc.unused_codes() == [3]
+
+    def test_satisfies_and_intruders(self):
+        enc = Encoding(
+            ["a", "b", "c", "d"], {"a": 0, "b": 1, "c": 2, "d": 3}, 2
+        )
+        assert enc.satisfies({"a", "b"})  # face 0-
+        assert enc.satisfies({"a", "c"})  # face -0
+        assert not enc.satisfies({"a", "d"})  # face -- contains b, c
+        assert set(enc.intruders({"a", "d"})) == {"b", "c"}
+
+    def test_face_dimension(self):
+        enc = Encoding(
+            ["a", "b", "c", "d"], {"a": 0, "b": 1, "c": 2, "d": 3}, 2
+        )
+        assert enc.face_dimension({"a"}) == 0
+        assert enc.face_dimension({"a", "b"}) == 1
+        assert enc.face_dimension({"a", "d"}) == 2
+
+    def test_as_table(self):
+        enc = Encoding(["a", "b"], {"a": 0, "b": 1}, 2)
+        assert enc.as_table().splitlines() == ["a  00", "b  01"]
+
+
+def make_matrix():
+    syms = [f"s{i}" for i in range(6)]
+    cs = ConstraintSet(
+        syms,
+        [
+            FaceConstraint({"s0", "s1"}),
+            FaceConstraint({"s2", "s3", "s4"}),
+        ],
+    )
+    return ConstraintMatrix(cs, nv=3), syms
+
+
+class TestConstraintMatrix:
+    def test_initial_marks(self):
+        matrix, syms = make_matrix()
+        assert len(matrix.rows) == 2
+        row = matrix.rows[0]
+        assert set(row.marks) == {"s2", "s3", "s4", "s5"}
+        assert row.unsatisfied_dichotomies() == 4
+        assert not row.satisfied()
+
+    def test_record_column_marks_satisfied_dichotomies(self):
+        matrix, syms = make_matrix()
+        # column: s0,s1 -> 1; everything else -> 0
+        column = {s: 1 if s in ("s0", "s1") else 0 for s in syms}
+        matrix.record_column(column)
+        row = matrix.rows[0]
+        assert row.satisfied()
+        assert row.agree_columns == {0}
+        # second constraint: members s2,s3,s4 all got 0 -> agree;
+        # outsiders s0,s1 differ, s5 matches
+        row2 = matrix.rows[1]
+        assert row2.agree_columns == {0}
+        assert row2.marks["s0"] == 1 and row2.marks["s1"] == 1
+        assert row2.marks["s5"] == 0
+        assert row2.intruders() == ["s5"]
+
+    def test_disagree_column(self):
+        matrix, syms = make_matrix()
+        column = {s: 0 for s in syms}
+        column["s0"] = 1  # splits constraint 0
+        matrix.record_column(column)
+        assert matrix.rows[0].disagree_columns == {0}
+        assert matrix.rows[0].marks["s5"] == 0
+
+    def test_paper_notation(self):
+        matrix, syms = make_matrix()
+        column = {s: 1 if s in ("s0", "s1") else 0 for s in syms}
+        matrix.record_column(column)
+        paper = matrix.as_paper_matrix()
+        # row 0: members 1; satisfied zeros show column index + 1 = 2
+        assert paper[0] == [1, 1, 2, 2, 2, 2]
+
+    def test_dim_bounds(self):
+        matrix, syms = make_matrix()
+        row = matrix.rows[1]  # |L| = 3 -> min dim 2
+        assert row.dim_min(3) == 2
+        assert row.dim_max(3) == 3
+        column = {s: 1 if s in ("s2", "s3", "s4") else 0 for s in syms}
+        matrix.record_column(column)
+        assert row.dim_max(3) == 2
+
+    def test_too_many_columns_rejected(self):
+        matrix, syms = make_matrix()
+        column = {s: 0 for s in syms}
+        column["s0"] = 1
+        for _ in range(3):
+            matrix.record_column(column)
+        with pytest.raises(ValueError):
+            matrix.record_column(column)
+
+    def test_clone_independent(self):
+        matrix, syms = make_matrix()
+        twin = matrix.clone()
+        column = {s: 1 if s in ("s0", "s1") else 0 for s in syms}
+        matrix.record_column(column)
+        assert twin.columns_generated == 0
+        assert twin.rows[0].marks["s5"] == 0

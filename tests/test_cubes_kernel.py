@@ -1,0 +1,231 @@
+"""Unit tests for the positional-cube kernel (spaces and single cubes)."""
+
+import pytest
+
+from repro.cubes import (
+    Space,
+    consensus,
+    contains,
+    cofactor,
+    cube_complement,
+    cube_size,
+    distance,
+    free_part_count,
+    intersect,
+    is_void,
+    sharp,
+    strictly_contains,
+    supercube,
+)
+
+
+def bits_of(space, cube):
+    """All minterms contained in a cube, by brute force."""
+    return [m for m in space.iter_minterms() if contains(cube, m)]
+
+
+class TestSpaceLayout:
+    def test_binary_space_width(self):
+        space = Space.binary(3)
+        assert space.width == 6
+        assert space.universe == 0b111111
+        assert space.part_sizes == (2, 2, 2)
+
+    def test_binary_space_with_outputs(self):
+        space = Space.binary(2, 3)
+        assert space.part_sizes == (2, 2, 3)
+        assert space.width == 7
+        assert space.has_output_part
+
+    def test_mv_space(self):
+        space = Space([4, 2])
+        assert space.offsets == (0, 4)
+        assert space.part_masks == (0b1111, 0b110000)
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            Space([])
+
+    def test_zero_size_part_rejected(self):
+        with pytest.raises(ValueError):
+            Space([2, 0])
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Space([2, 2], labels=["only-one"])
+
+    def test_literal(self):
+        space = Space.binary(2)
+        # x0 = 1, x1 free
+        assert space.literal(0, 1) == 0b1110
+        assert space.literal(1, 0) == 0b0111
+
+    def test_minterm_roundtrip(self):
+        space = Space([2, 3])
+        m = space.minterm([1, 2])
+        assert space.field(m, 0) == 0b10
+        assert space.field(m, 1) == 0b100
+
+    def test_minterm_enumeration_count(self):
+        space = Space([2, 3, 2])
+        minterms = list(space.iter_minterms())
+        assert len(minterms) == 12
+        assert len(set(minterms)) == 12
+        assert space.num_minterms() == 12
+
+    def test_make_cube_and_fields(self):
+        space = Space([2, 4])
+        cube = space.make_cube([0b11, 0b0101])
+        assert space.fields(cube) == [0b11, 0b0101]
+
+    def test_make_cube_rejects_wide_field(self):
+        space = Space([2, 2])
+        with pytest.raises(ValueError):
+            space.make_cube([0b111, 0b11])
+
+    def test_with_field(self):
+        space = Space([2, 2])
+        cube = space.universe
+        cube = space.with_field(cube, 1, 0b01)
+        assert space.fields(cube) == [0b11, 0b01]
+
+
+class TestCubeFormat:
+    def test_format_binary(self):
+        space = Space.binary(3)
+        assert space.format_cube(space.universe) == "---"
+        cube = space.make_cube([0b01, 0b10, 0b11])
+        assert space.format_cube(cube) == "01-"
+
+    def test_format_with_output_part(self):
+        space = Space.binary(2, 3)
+        cube = space.make_cube([0b10, 0b11, 0b101])
+        assert space.format_cube(cube) == "1- 101"
+
+    def test_parse_roundtrip(self):
+        space = Space.binary(2, 3)
+        for text in ["00 111", "1- 010", "-- 001"]:
+            assert space.format_cube(space.parse_cube(text)) == text
+
+    def test_parse_rejects_garbage(self):
+        space = Space.binary(2)
+        with pytest.raises(ValueError):
+            space.parse_cube("0x")
+        with pytest.raises(ValueError):
+            space.parse_cube("0")
+        with pytest.raises(ValueError):
+            space.parse_cube("000")
+
+
+class TestCubeOps:
+    def setup_method(self):
+        self.space = Space.binary(3)
+
+    def cube(self, text):
+        return self.space.parse_cube(text)
+
+    def test_intersection_void(self):
+        assert intersect(self.space, self.cube("0--"), self.cube("1--")) == 0
+
+    def test_intersection_basic(self):
+        got = intersect(self.space, self.cube("0--"), self.cube("-1-"))
+        assert got == self.cube("01-")
+
+    def test_is_void(self):
+        assert is_void(self.space, 0)
+        assert not is_void(self.space, self.space.universe)
+
+    def test_containment(self):
+        assert contains(self.cube("0--"), self.cube("01-"))
+        assert not contains(self.cube("01-"), self.cube("0--"))
+        assert strictly_contains(self.cube("0--"), self.cube("01-"))
+        assert not strictly_contains(self.cube("0--"), self.cube("0--"))
+
+    def test_supercube(self):
+        got = supercube([self.cube("000"), self.cube("011")])
+        assert got == self.cube("0--")
+
+    def test_distance(self):
+        assert distance(self.space, self.cube("000"), self.cube("001")) == 1
+        assert distance(self.space, self.cube("000"), self.cube("011")) == 2
+        assert distance(self.space, self.cube("0--"), self.cube("01-")) == 0
+
+    def test_consensus_distance_one(self):
+        got = consensus(self.space, self.cube("01-"), self.cube("00-"))
+        assert got == self.cube("0--")
+
+    def test_consensus_classic(self):
+        got = consensus(self.space, self.cube("1-0"), self.cube("01-"))
+        # conflicting in variable 0 -> raise it, intersect the rest
+        assert got == self.cube("-10")
+
+    def test_consensus_distance_two_is_void(self):
+        assert consensus(self.space, self.cube("00-"), self.cube("11-")) == 0
+
+    def test_cofactor_shannon(self):
+        # Shannon expansion sanity: c = (x0 & cof(c, x0)) on minterms
+        c = self.cube("01-")
+        lit = self.space.literal(0, 0)
+        cof = cofactor(self.space, c, lit)
+        for m in self.space.iter_minterms():
+            inside = contains(c, m)
+            if contains(lit, m):
+                assert contains(cof, m) == inside
+
+    def test_cube_size(self):
+        assert cube_size(self.space, self.cube("000")) == 1
+        assert cube_size(self.space, self.cube("0--")) == 4
+        assert cube_size(self.space, self.space.universe) == 8
+
+    def test_free_part_count(self):
+        assert free_part_count(self.space, self.cube("0--")) == 2
+        assert free_part_count(self.space, self.space.universe) == 3
+
+    def test_cube_complement_partitions(self):
+        c = self.cube("01-")
+        comp = cube_complement(self.space, c)
+        covered = set()
+        for piece in comp:
+            covered.update(bits_of(self.space, piece))
+        inside = set(bits_of(self.space, c))
+        allm = set(self.space.iter_minterms())
+        assert covered == allm - inside
+
+    def test_sharp_is_difference(self):
+        a, b = self.cube("0--"), self.cube("-1-")
+        pieces = sharp(self.space, a, b)
+        got = set()
+        for piece in pieces:
+            minterms = bits_of(self.space, piece)
+            assert not got & set(minterms), "sharp pieces must be disjoint"
+            got.update(minterms)
+        expect = set(bits_of(self.space, a)) - set(bits_of(self.space, b))
+        assert got == expect
+
+    def test_sharp_subset_is_empty(self):
+        assert sharp(self.space, self.cube("01-"), self.cube("0--")) == []
+
+
+class TestMVCubeOps:
+    def test_mv_intersection(self):
+        space = Space([3, 2])
+        a = space.make_cube([0b011, 0b11])
+        b = space.make_cube([0b110, 0b01])
+        got = intersect(space, a, b)
+        assert space.fields(got) == [0b010, 0b01]
+
+    def test_mv_void_intersection(self):
+        space = Space([3, 2])
+        a = space.make_cube([0b001, 0b11])
+        b = space.make_cube([0b110, 0b11])
+        assert intersect(space, a, b) == 0
+
+    def test_mv_cube_complement(self):
+        space = Space([3, 2])
+        cube = space.make_cube([0b011, 0b01])
+        comp = cube_complement(space, cube)
+        inside = set(bits_of(space, cube))
+        covered = set()
+        for piece in comp:
+            covered.update(bits_of(space, piece))
+        assert covered == set(space.iter_minterms()) - inside

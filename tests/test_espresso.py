@@ -1,0 +1,303 @@
+"""Tests for the heuristic and exact two-level minimizers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cubes import Space, contains, cover_contains_cube, tautology
+from repro.espresso import (
+    EspressoStats,
+    all_primes,
+    espresso,
+    exact_minimize,
+    expand,
+    irredundant,
+    reduce_cover,
+)
+from repro.espresso.exact import ExactLimitError
+
+
+def semantics(space, cover):
+    return {
+        m
+        for m in space.iter_minterms()
+        if any(contains(c, m) for c in cover)
+    }
+
+
+def assert_equivalent_on_care_set(space, got, onset, dcset=()):
+    """got must cover all of onset and stay inside onset|dcset."""
+    on = semantics(space, onset)
+    dc = semantics(space, dcset)
+    new = semantics(space, got)
+    assert on - dc <= new, "minimized cover lost on-set minterms"
+    assert new <= on | dc, "minimized cover grew outside the care set"
+
+
+class TestExpand:
+    def test_expand_merges_adjacent_minterms(self):
+        space = Space.binary(3)
+        on = [space.parse_cube("000"), space.parse_cube("001")]
+        off = [space.parse_cube(r) for r in ["01-", "1--"]]
+        got = expand(space, on, off)
+        assert got == [space.parse_cube("00-")]
+
+    def test_expand_result_is_prime(self):
+        space = Space.binary(4)
+        on = [space.parse_cube("0000")]
+        off = [space.parse_cube("1111")]
+        (prime,) = expand(space, on, off)
+        # every further raise must hit the off-set
+        free = space.universe & ~prime
+        while free:
+            bit = free & -free
+            free &= free - 1
+            grown = prime | bit
+            assert any(
+                all((grown & c) & m for m in space.part_masks)
+                for c in off
+            )
+
+
+class TestIrredundant:
+    def test_removes_consensus_middle(self):
+        space = Space.binary(2)
+        cover = [
+            space.parse_cube("0-"),
+            space.parse_cube("-1"),
+            space.parse_cube("01"),  # redundant
+        ]
+        got = irredundant(space, cover)
+        assert sorted(got) == sorted(cover[:2])
+
+    def test_keeps_needed_cubes(self):
+        space = Space.binary(2)
+        cover = [space.parse_cube("0-"), space.parse_cube("1-")]
+        assert sorted(irredundant(space, cover)) == sorted(cover)
+
+    def test_respects_dcset(self):
+        space = Space.binary(2)
+        cover = [space.parse_cube("00")]
+        dc = [space.parse_cube("0-")]
+        assert irredundant(space, cover, dc) == []
+
+
+class TestReduce:
+    def test_reduce_keeps_coverage(self):
+        space = Space.binary(3)
+        cover = [space.parse_cube("0--"), space.parse_cube("-1-")]
+        reduced = reduce_cover(space, cover)
+        assert semantics(space, reduced) == semantics(space, cover)
+
+    def test_fully_covered_cube_left_for_irredundant(self):
+        from repro.espresso import reduce_cube
+
+        space = Space.binary(2)
+        # 11 is inside --, so its unique work is empty: reduce_cube
+        # signals that with 0 and reduce_cover leaves it untouched
+        assert reduce_cube(
+            space, space.parse_cube("11"), [space.universe]
+        ) == 0
+        cover = [space.universe, space.parse_cube("11")]
+        reduced = reduce_cover(space, cover)
+        assert semantics(space, reduced) == semantics(space, cover)
+
+    def test_reduce_carves_overlap(self):
+        space = Space.binary(2)
+        # two overlapping cubes: one of them must shed the shared corner
+        cover = [space.parse_cube("1-"), space.parse_cube("-1")]
+        reduced = reduce_cover(space, cover)
+        assert semantics(space, reduced) == semantics(space, cover)
+        assert sorted(reduced) != sorted(cover)
+
+
+KNOWN_FUNCTIONS = [
+    # (n_inputs, onset rows, dc rows, optimal cube count)
+    (2, ["01", "10"], [], 2),  # xor
+    (2, ["00", "01", "10", "11"], [], 1),  # tautology
+    (3, ["000", "001", "011", "010"], [], 1),  # x0'
+    (3, ["000", "111"], [], 2),
+    (3, ["000", "001", "101"], [], 2),
+    (3, ["010", "011", "110", "111", "101"], [], 2),  # x1 + x0x2
+    (4, ["0000", "0001", "0011", "0010", "1000", "1001"], [], 2),
+    (3, ["000"], ["001", "01-"], 1),
+    (2, ["00"], ["11"], 1),
+]
+
+
+class TestEspressoKnownFunctions:
+    @pytest.mark.parametrize("n,on,dc,optimum", KNOWN_FUNCTIONS)
+    def test_reaches_known_optimum(self, n, on, dc, optimum):
+        space = Space.binary(n)
+        onset = [space.parse_cube(r) for r in on]
+        dcset = [space.parse_cube(r) for r in dc]
+        got = espresso(space, onset, dcset)
+        assert_equivalent_on_care_set(space, got, onset, dcset)
+        assert len(got) == optimum
+
+    @pytest.mark.parametrize("n,on,dc,optimum", KNOWN_FUNCTIONS)
+    def test_exact_matches_known_optimum(self, n, on, dc, optimum):
+        space = Space.binary(n)
+        onset = [space.parse_cube(r) for r in on]
+        dcset = [space.parse_cube(r) for r in dc]
+        got = exact_minimize(space, onset, dcset)
+        assert_equivalent_on_care_set(space, got, onset, dcset)
+        assert len(got) == optimum
+
+
+class TestEspressoProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(st.data())
+    def test_random_functions_stay_equivalent(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=4))
+        space = Space.binary(n)
+        minterms = list(space.iter_minterms())
+        onset = [
+            m for m in minterms if data.draw(st.booleans(), label="on")
+        ]
+        rest = [m for m in minterms if m not in onset]
+        dcset = [m for m in rest if data.draw(st.booleans(), label="dc")]
+        got = espresso(space, onset, dcset)
+        assert_equivalent_on_care_set(space, got, onset, dcset)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_heuristic_close_to_exact(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=3))
+        space = Space.binary(n)
+        minterms = list(space.iter_minterms())
+        onset = [m for m in minterms if data.draw(st.booleans())]
+        got = espresso(space, onset)
+        best = exact_minimize(space, onset)
+        assert len(got) >= len(best)
+        # the heuristic has no optimality guarantee, but on functions
+        # this small it should land within one cube of the optimum
+        assert len(got) <= len(best) + 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_multioutput_equivalence(self, data):
+        n_in = data.draw(st.integers(min_value=1, max_value=3))
+        n_out = data.draw(st.integers(min_value=1, max_value=3))
+        space = Space.binary(n_in, n_out)
+        minterms = list(space.iter_minterms())
+        onset = [m for m in minterms if data.draw(st.booleans())]
+        got = espresso(space, onset)
+        assert_equivalent_on_care_set(space, got, onset, ())
+
+
+class TestAllPrimes:
+    def test_primes_of_xor(self):
+        space = Space.binary(2)
+        onset = [space.parse_cube("01"), space.parse_cube("10")]
+        primes = all_primes(space, onset)
+        assert sorted(primes) == sorted(onset)
+
+    def test_primes_of_consensus_trio(self):
+        space = Space.binary(2)
+        onset = [space.parse_cube("0-"), space.parse_cube("-1")]
+        primes = all_primes(space, onset)
+        assert sorted(primes) == sorted(onset)
+
+    def test_every_prime_is_maximal(self):
+        space = Space.binary(3)
+        onset = [
+            space.parse_cube(r)
+            for r in ["000", "001", "011", "111"]
+        ]
+        primes = all_primes(space, onset)
+        for p in primes:
+            free = space.universe & ~p
+            while free:
+                bit = free & -free
+                free &= free - 1
+                assert not cover_contains_cube(space, onset, p | bit)
+
+    def test_limit_error(self):
+        space = Space.binary(2)
+        onset = [space.parse_cube(r) for r in ["00", "01", "11"]]
+        with pytest.raises(ExactLimitError):
+            all_primes(space, onset, max_primes=0)
+
+
+class TestEspressoStats:
+    def test_stats_populated(self):
+        space = Space.binary(3)
+        onset = [space.parse_cube(r) for r in ["000", "001", "011"]]
+        stats = EspressoStats()
+        espresso(space, onset, stats=stats)
+        assert stats.initial_terms == 3
+        assert stats.final_terms == 2
+        assert stats.iterations >= 1
+
+    def test_empty_onset(self):
+        space = Space.binary(2)
+        assert espresso(space, []) == []
+
+
+class TestEspressoMVSpaces:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_multivalued_equivalence(self, data):
+        """espresso over true MV spaces (like the symbolic state
+        variable) must preserve the covered set exactly."""
+        sizes = data.draw(
+            st.lists(
+                st.integers(min_value=2, max_value=4),
+                min_size=1, max_size=3,
+            )
+        )
+        space = Space(sizes)
+        minterms = list(space.iter_minterms())
+        onset = [m for m in minterms if data.draw(st.booleans())]
+        got = espresso(space, onset)
+        assert semantics(space, got) == semantics(space, onset)
+
+    def test_mv_merge_example(self):
+        """Two states with identical behaviour merge into one literal
+        (the mechanism behind face-constraint derivation)."""
+        space = Space([2, 3])  # one binary input, one 3-value state
+        onset = [
+            space.make_cube([0b01, 0b001]),
+            space.make_cube([0b01, 0b010]),
+        ]
+        got = espresso(space, onset)
+        assert got == [space.make_cube([0b01, 0b011])]
+
+
+class TestClassicFunctions:
+    def test_xor5_is_exactly_minimal(self):
+        from repro.espresso import espresso_pla, xorn
+
+        out = espresso_pla(xorn(5))
+        assert out.num_terms() == 16  # theory: 2^(n-1) for parity
+
+    def test_rd53_matches_published(self):
+        from repro.espresso import espresso_pla, rdn
+
+        out = espresso_pla(rdn(5))
+        assert out.num_terms() == 31
+
+    def test_majority_symmetry(self):
+        from repro.espresso import espresso_pla, majority
+
+        out = espresso_pla(majority(5))
+        # C(5,3) = 10 minimal cubes (one per minimal winning coalition)
+        assert out.num_terms() == 10
+
+    def test_adder_semantics(self):
+        from repro.espresso import adrn
+
+        pla = adrn(2)
+        # 2+2 adder: check 3 + 2 = 5
+        got = pla.eval_minterm([1, 1, 1, 0])
+        word = sum(bit << i for i, bit in enumerate(got))
+        assert word == 5
+
+    def test_squarer_semantics(self):
+        from repro.espresso import sqrn
+
+        pla = sqrn(3)
+        got = pla.eval_minterm([1, 0, 1])  # 5
+        word = sum(bit << i for i, bit in enumerate(got))
+        assert word == 25

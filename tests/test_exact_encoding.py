@@ -1,0 +1,150 @@
+"""Tests for the exact minimum-length encoder and length trade-offs."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import picola_encode
+from repro.encoding import (
+    ConstraintSet,
+    Encoding,
+    ExactSearchBudget,
+    FaceConstraint,
+    exact_encode,
+    length_tradeoff,
+    minimum_satisfying_length,
+)
+
+
+def cset_of(n, groups):
+    syms = [f"s{i}" for i in range(n)]
+    return ConstraintSet(
+        syms, [FaceConstraint({f"s{i}" for i in g}) for g in groups]
+    )
+
+
+def brute_force_optimum(cset, nv):
+    syms = list(cset.symbols)
+    best = -1.0
+    for codes in itertools.permutations(range(1 << nv), len(syms)):
+        enc = Encoding(syms, dict(zip(syms, codes)), nv)
+        weight = sum(
+            c.weight for c in cset.nontrivial()
+            if enc.satisfies(c.symbols)
+        )
+        best = max(best, weight)
+    return best
+
+
+class TestExactEncode:
+    def test_satisfiable_set_fully_satisfied(self):
+        cs = cset_of(8, [[0, 1], [2, 3], [4, 5, 6, 7]])
+        result = exact_encode(cs)
+        assert result.optimal
+        assert result.satisfied == 3
+
+    def test_known_infeasible(self):
+        # 5 of 6 symbols cannot share a face in B^3
+        cs = cset_of(6, [[0, 1, 2, 3, 4]])
+        result = exact_encode(cs)
+        assert result.optimal
+        assert result.satisfied == 0
+
+    def test_budget_strict(self):
+        cs = cset_of(8, [[0, 1, 2], [3, 4, 5], [1, 4, 6]])
+        with pytest.raises(ExactSearchBudget):
+            exact_encode(cs, max_nodes=3, strict=True)
+
+    def test_budget_nonstrict_returns_best_so_far(self):
+        cs = cset_of(6, [[0, 1], [2, 3]])
+        result = exact_encode(cs, max_nodes=40)
+        assert result.encoding.is_injective()
+
+    def test_too_small_nv_rejected(self):
+        cs = cset_of(5, [[0, 1]])
+        with pytest.raises(ValueError):
+            exact_encode(cs, nv=2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_matches_bruteforce_optimum(self, data):
+        n = data.draw(st.integers(min_value=4, max_value=6))
+        nv = (n - 1).bit_length()
+        syms = [f"s{i}" for i in range(n)]
+        groups = []
+        for _ in range(data.draw(st.integers(min_value=1, max_value=3))):
+            size = data.draw(st.integers(min_value=2, max_value=n - 1))
+            groups.append(
+                data.draw(
+                    st.sets(st.sampled_from(syms), min_size=size,
+                            max_size=size)
+                )
+            )
+        cset = ConstraintSet(
+            syms, [FaceConstraint(g) for g in groups if 2 <= len(g) < n]
+        )
+        result = exact_encode(cset, max_nodes=400_000)
+        if not result.optimal:
+            return  # budget-limited draw; nothing to assert
+        assert result.satisfied_weight == pytest.approx(
+            brute_force_optimum(cset, nv)
+        )
+
+    def test_picola_never_beats_exact(self):
+        for groups in [
+            [[0, 1, 2], [3, 4], [1, 5]],
+            [[0, 1], [1, 2], [2, 3], [3, 0]],
+        ]:
+            cs = cset_of(6, groups)
+            exact = exact_encode(cs)
+            heur = picola_encode(cs)
+            heur_weight = sum(
+                c.weight for c in cs.nontrivial()
+                if heur.encoding.satisfies(c.symbols)
+            )
+            assert heur_weight <= exact.satisfied_weight + 1e-9
+
+
+class TestLengths:
+    def test_minimum_satisfying_length_easy(self):
+        cs = cset_of(8, [[0, 1], [2, 3]])
+        assert minimum_satisfying_length(cs) == 3
+
+    def test_minimum_satisfying_length_needs_extra_bit(self):
+        # 5 of 6 on a face: impossible in B^3, trivial in B^4
+        cs = cset_of(6, [[0, 1, 2, 3, 4]])
+        assert minimum_satisfying_length(cs) == 4
+
+    def test_no_constraints(self):
+        cs = cset_of(4, [])
+        assert minimum_satisfying_length(cs) == 2
+
+    def test_length_tradeoff_monotone_satisfaction(self):
+        cs = cset_of(6, [[0, 1, 2, 3, 4], [0, 1]])
+        points = length_tradeoff(cs, max_extra_bits=2)
+        assert [p.nv for p in points] == [3, 4, 5]
+        assert points[-1].satisfied >= points[0].satisfied
+        # the motivation: cubes shrink with length, area proxy may not
+        assert points[-1].cubes <= points[0].cubes
+
+
+class TestBestLength:
+    def test_returns_consistent_triple(self):
+        from repro.encoding import best_length_encoding
+
+        cs = cset_of(6, [[0, 1, 2, 3, 4], [0, 1]])
+        enc, chosen, points = best_length_encoding(cs, max_extra_bits=2)
+        assert enc.n_bits == chosen.nv
+        assert chosen in points
+        assert enc.is_injective()
+
+    def test_high_register_cost_prefers_short_codes(self):
+        from repro.encoding import best_length_encoding
+
+        cs = cset_of(6, [[0, 1, 2, 3, 4]])
+        enc, chosen, _ = best_length_encoding(
+            cs, max_extra_bits=2, register_cost=1000.0
+        )
+        assert chosen.nv == cs.min_code_length()

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs(script, tmp_path):
+    args = [sys.executable, str(script)]
+    if script.stem == "export_netlists":
+        args.append(str(tmp_path))
+    elif script.stem == "state_assignment":
+        args.append("lion9")  # small machine keeps it fast
+    result = subprocess.run(
+        args,
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(tmp_path),
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples should print something"
+
+
+def test_example_list_is_complete():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "state_assignment",
+        "microcode_encoding",
+        "paper_walkthrough",
+        "export_netlists",
+        "tutorial",
+    } <= names

@@ -1,0 +1,154 @@
+"""Tests for the BLIF and Verilog exporters."""
+
+import re
+
+import pytest
+
+from repro.espresso import Pla
+from repro.export import (
+    assignment_to_blif,
+    assignment_to_verilog,
+    pla_to_blif,
+)
+from repro.fsm import parse_kiss
+from repro.stateassign import assign_states
+
+TOY = """
+.i 1
+.o 2
+.r idle
+0 idle idle 00
+1 idle busy 01
+0 busy idle 10
+1 busy busy 01
+"""
+
+
+def toy_assignment():
+    return assign_states(parse_kiss(TOY), "picola")
+
+
+class TestPlaToBlif:
+    def make_pla(self):
+        pla = Pla(2, 2)
+        pla.add_term("01", "10")
+        pla.add_term("1-", "01")
+        return pla
+
+    def test_structure(self):
+        text = pla_to_blif(self.make_pla(), model="m")
+        assert text.startswith(".model m")
+        assert ".inputs x0 x1" in text
+        assert ".outputs z0 z1" in text
+        assert text.rstrip().endswith(".end")
+
+    def test_names_blocks_per_output(self):
+        text = pla_to_blif(self.make_pla())
+        assert ".names x0 x1 z0" in text
+        assert ".names x0 x1 z1" in text
+        assert "01 1" in text
+        assert "1- 1" in text
+
+    def test_custom_names(self):
+        text = pla_to_blif(
+            self.make_pla(), input_names=["a", "b"],
+            output_names=["f", "g"],
+        )
+        assert ".names a b f" in text
+
+    def test_name_count_checked(self):
+        with pytest.raises(ValueError):
+            pla_to_blif(self.make_pla(), input_names=["only"])
+
+    def test_constant_zero_output(self):
+        pla = Pla(1, 2)
+        pla.add_term("1", "10")
+        text = pla_to_blif(pla)
+        assert ".names x0 z1" in text  # exists even though empty
+
+
+class TestAssignmentToBlif:
+    def test_sequential_structure(self):
+        result = toy_assignment()
+        text = assignment_to_blif(result)
+        assert ".latch ns0 s0 re clk" in text
+        assert ".inputs x0" in text
+        assert ".outputs z0 z1" in text
+        # reset state initial value is encoded in the latch line
+        reset = result.encoding.code_of("idle")
+        assert f".latch ns0 s0 re clk {reset & 1}" in text
+
+    def test_names_reference_state_nets(self):
+        text = assignment_to_blif(toy_assignment())
+        assert re.search(r"\.names x0 s0 ns0", text)
+
+
+class TestAssignmentToVerilog:
+    def test_module_shape(self):
+        result = toy_assignment()
+        text = assignment_to_verilog(result, module="toy")
+        assert text.startswith("// generated")
+        assert "module toy (" in text
+        assert "input  wire x0," in text
+        assert "output wire z1" in text
+        assert "endmodule" in text
+
+    def test_reset_value(self):
+        result = toy_assignment()
+        text = assignment_to_verilog(result)
+        reset = result.encoding.code_of("idle")
+        n_bits = result.encoding.n_bits
+        assert f"state <= {n_bits}'b" + format(
+            reset, f"0{n_bits}b"
+        ) in text
+
+    def test_sop_expressions_reference_inputs(self):
+        text = assignment_to_verilog(toy_assignment())
+        assert "assign next_state[0] =" in text
+        assert "x0" in text
+
+    def test_verilog_matches_cosimulation(self):
+        """Interpret the generated SOP expressions in Python and check
+        them against the encoded simulator for every (state, input)."""
+        result = toy_assignment()
+        text = assignment_to_verilog(result)
+        n_bits = result.encoding.n_bits
+        fsm = result.fsm
+
+        assigns = {}
+        for m in re.finditer(
+            r"assign (\S+(?:\[\d\])?) = ([^;]+);", text
+        ):
+            assigns[m.group(1)] = m.group(2)
+
+        def eval_expr(expr, env):
+            py = expr.replace("~", " not ").replace("&", " and ")
+            py = py.replace("|", " or ")
+            py = py.replace("1'b1", "True").replace("1'b0", "False")
+            for name, value in env.items():
+                py = re.sub(
+                    re.escape(name) + r"(?![\w\[])", str(bool(value)),
+                    py,
+                )
+            return bool(eval(py))
+
+        from repro.fsm import EncodedSimulator
+
+        for state in fsm.states:
+            code = result.encoding.code_of(state)
+            for x in range(1 << fsm.n_inputs):
+                env = {"x0": (x & 1)}
+                for b in range(n_bits):
+                    env[f"state[{b}]"] = (code >> b) & 1
+                sim = EncodedSimulator(
+                    result.minimized, fsm.n_inputs, n_bits, code
+                )
+                got_code, got_out = sim.step(format(x, "01b"))
+                for b in range(n_bits):
+                    expr = assigns[f"next_state[{b}]"]
+                    assert eval_expr(expr, env) == bool(
+                        (got_code >> b) & 1
+                    )
+                for o in range(fsm.n_outputs):
+                    expr = assigns[f"z{o}"]
+                    assert eval_expr(expr, env) == bool(got_out[o])

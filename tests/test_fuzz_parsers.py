@@ -1,0 +1,79 @@
+"""Fuzz tests: parsers must fail cleanly, never crash or hang.
+
+Any malformed input should raise ``ValueError`` (the documented
+contract) — not ``IndexError``/``KeyError``/``AttributeError`` — and
+valid-looking inputs must produce structurally sound objects.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cubes import Space
+from repro.espresso import parse_pla
+from repro.fsm import parse_kiss
+
+# text alphabets biased toward format-relevant characters
+KISS_ALPHABET = st.sampled_from(
+    list("01-* .\npqrsioe") + ["st", ".i", ".o", ".e\n"]
+)
+PLA_ALPHABET = st.sampled_from(
+    list("01-~2 .\npio") + [".i ", ".o ", ".type fr\n"]
+)
+
+
+class TestKissFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(KISS_ALPHABET, max_size=60).map("".join))
+    def test_never_crashes(self, text):
+        try:
+            fsm = parse_kiss(text)
+        except ValueError:
+            return
+        # if it parsed, the machine must be structurally valid
+        assert fsm.transitions
+        assert fsm.n_states >= 1
+        for t in fsm.transitions:
+            assert len(t.inputs) == fsm.n_inputs
+            assert len(t.outputs) == fsm.n_outputs
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=80))
+    def test_arbitrary_text(self, text):
+        try:
+            parse_kiss(text)
+        except ValueError:
+            pass
+
+
+class TestPlaFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(PLA_ALPHABET, max_size=60).map("".join))
+    def test_never_crashes(self, text):
+        try:
+            pla = parse_pla(text)
+        except ValueError:
+            return
+        assert pla.n_inputs >= 0
+        assert pla.n_outputs >= 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=80))
+    def test_arbitrary_text(self, text):
+        try:
+            parse_pla(text)
+        except ValueError:
+            pass
+
+
+class TestCubeStringFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(alphabet="01-~2 x", max_size=12))
+    def test_parse_cube_never_crashes(self, text):
+        space = Space.binary(3, 2)
+        try:
+            cube = space.parse_cube(text)
+        except ValueError:
+            return
+        # a successful parse must round-trip
+        assert space.parse_cube(space.format_cube(cube)) == cube

@@ -1,0 +1,344 @@
+"""Tests for the PICOLA core: classify, guides/Theorem I, solve, driver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PicolaOptions,
+    PicolaResult,
+    PrefixGroups,
+    WeightPolicy,
+    capacity_feasible,
+    classify,
+    generate_column,
+    guide_constraint,
+    nv_compatible,
+    picola_encode,
+    theorem1_cubes,
+)
+from repro.core.repair import polish_encoding
+from repro.encoding import (
+    ConstraintMatrix,
+    ConstraintSet,
+    Encoding,
+    FaceConstraint,
+    evaluate_encoding,
+)
+
+
+def cset_of(n, groups):
+    syms = [f"s{i}" for i in range(n)]
+    return ConstraintSet(
+        syms, [FaceConstraint({f"s{i}" for i in g}) for g in groups]
+    )
+
+
+class TestNvCompatible:
+    def make_rows(self, n, a, b, nv):
+        cs = cset_of(n, [a, b])
+        matrix = ConstraintMatrix(cs, nv)
+        return matrix.rows[0], matrix.rows[1]
+
+    def test_disjoint_fit(self):
+        # two pairs in 8 codes with 8 symbols: dc(S)=0, each pair
+        # wastes nothing (dim 1 holds exactly 2)
+        ra, rb = self.make_rows(8, [0, 1], [2, 3], 3)
+        assert nv_compatible(ra, rb, 3, 8)
+
+    def test_disjoint_capacity_violation(self):
+        # |A|=3 needs dim 2 (wastes 1), |B|=3 too; dc(S) = 8-6 = 2: ok
+        ra, rb = self.make_rows(6, [0, 1, 2], [3, 4, 5], 3)
+        assert nv_compatible(ra, rb, 3, 6)
+        # with 8 symbols dc(S)=0 and each triple wastes a code: fails
+        ra, rb = self.make_rows(8, [0, 1, 2], [3, 4, 5], 3)
+        assert not nv_compatible(ra, rb, 3, 8)
+
+    def test_son_dimension_formula(self):
+        # A = {0..3}, B = {2..5}, son = {2,3}: dims 2+2-1 = 3 <= 3
+        ra, rb = self.make_rows(8, [0, 1, 2, 3], [2, 3, 4, 5], 3)
+        assert nv_compatible(ra, rb, 3, 8)
+
+    def test_son_dimension_overflow(self):
+        # A = {0..4}, B = {3..7}, son = {3,4}: dims 3+3-1 = 5 > 3
+        ra, rb = self.make_rows(8, [0, 1, 2, 3, 4], [3, 4, 5, 6, 7], 3)
+        assert not nv_compatible(ra, rb, 3, 8)
+
+    def test_equal_sets_compatible(self):
+        ra, rb = self.make_rows(6, [0, 1, 2], [0, 1, 2], 3)
+        assert nv_compatible(ra, rb, 3, 6)
+
+
+class TestCapacityFeasible:
+    def test_constraint_too_big_for_dc(self):
+        # |L| = 5 in B^3 with 8 symbols: face dim 3 = everything ->
+        # wastes 3 codes but dc(S) = 0
+        cs = cset_of(8, [[0, 1, 2, 3, 4]])
+        matrix = ConstraintMatrix(cs, 3)
+        assert not capacity_feasible(matrix.rows[0], 3, 8)
+
+    def test_five_of_six_in_b3_is_infeasible(self):
+        # the only face holding 5 codes in B^3 is the whole cube,
+        # which necessarily contains the sixth symbol
+        cs = cset_of(6, [[0, 1, 2, 3, 4]])
+        matrix = ConstraintMatrix(cs, 3)
+        assert not capacity_feasible(matrix.rows[0], 3, 6)
+
+    def test_fits_with_spare_codes(self):
+        # |L| = 4 embeds on a 2-face with no waste
+        cs = cset_of(6, [[0, 1, 2, 3]])
+        matrix = ConstraintMatrix(cs, 3)
+        assert capacity_feasible(matrix.rows[0], 3, 6)
+
+    def test_agree_budget_exhausted(self):
+        cs = cset_of(6, [[0, 1, 2]])  # min dim 2 -> 1 agree column max
+        matrix = ConstraintMatrix(cs, 3)
+        syms = list(cs.symbols)
+        col = {s: 1 if s in ("s0", "s1", "s2", "s3") else 0 for s in syms}
+        matrix.record_column(col)  # agree #1, s3 still an intruder
+        assert not capacity_feasible(matrix.rows[0], 3, 6)
+
+
+class TestClassify:
+    def test_infeasible_capacity_detected_upfront(self):
+        cs = cset_of(8, [[0, 1, 2, 3, 4]])
+        matrix = ConstraintMatrix(cs, 3)
+        bad = classify(matrix)
+        assert len(bad) == 1
+        assert matrix.rows[0].infeasible
+
+    def test_satisfied_vs_incompatible(self):
+        cs = cset_of(8, [[0, 1, 2, 3, 4], [5, 6, 7, 0, 1]])
+        matrix = ConstraintMatrix(cs, 4)  # nv=3 would kill both
+        # nv=4 is fine: no infeasibility
+        assert classify(matrix) == []
+
+
+class TestGuides:
+    def test_guide_from_row(self):
+        cs = cset_of(6, [[0, 1, 2]])
+        matrix = ConstraintMatrix(cs, 3)
+        syms = list(cs.symbols)
+        col = {s: 1 if s in ("s0", "s1", "s2", "s3", "s4") else 0
+               for s in syms}
+        matrix.record_column(col)
+        row = matrix.rows[0]
+        assert set(row.intruders()) == {"s3", "s4"}
+        guide = guide_constraint(row)
+        assert guide is not None
+        assert guide.is_guide()
+        assert guide.symbols == frozenset({"s3", "s4"})
+        assert guide.parent == frozenset({"s0", "s1", "s2"})
+
+    def test_single_intruder_gives_no_guide(self):
+        cs = cset_of(6, [[0, 1, 2]])
+        matrix = ConstraintMatrix(cs, 3)
+        syms = list(cs.symbols)
+        col = {s: 1 if s in ("s0", "s1", "s2", "s3") else 0 for s in syms}
+        matrix.record_column(col)
+        assert guide_constraint(matrix.rows[0]) is None
+
+
+class TestTheorem1:
+    def paper_example(self):
+        """Example 3/4 of the paper: 15 symbols in B^4, encoding 1c."""
+        symbols = [f"s{i}" for i in range(1, 16)]
+        # L4 = {s6,s7,s8,s9,s14} on face 0---; intruders {s1, s2} on
+        # face 00-0 (s1=0000, s2=0010); everything else outside 0---
+        codes = {
+            "s1": 0b0000, "s2": 0b0010,
+            "s6": 0b0001, "s7": 0b0011, "s8": 0b0101,
+            "s9": 0b0111, "s14": 0b0100,
+            # remaining symbols on the 1--- half
+            "s3": 0b1000, "s4": 0b1001, "s5": 0b1010, "s10": 0b1011,
+            "s11": 0b1100, "s12": 0b1101, "s13": 0b1110, "s15": 0b1111,
+        }
+        # s14=0100, s8=0101 ... face of L4 = 0---; check s1/s2 inside
+        return Encoding(symbols, codes, 4)
+
+    def test_construction_matches_paper_count(self):
+        enc = self.paper_example()
+        members = ["s6", "s7", "s8", "s9", "s14"]
+        intruders = enc.intruders(frozenset(members))
+        assert set(intruders) == {"s1", "s2"}
+        cubes = theorem1_cubes(enc, members, intruders)
+        assert cubes is not None
+        # dim super(L) = 3, dim super(I) = 1 -> 2 cubes (Theorem I)
+        assert len(cubes) == 2
+
+    def test_cubes_cover_members_exclude_intruders(self):
+        enc = self.paper_example()
+        members = ["s6", "s7", "s8", "s9", "s14"]
+        intruders = enc.intruders(frozenset(members))
+        cubes = theorem1_cubes(enc, members, intruders)
+        for s in members:
+            code = enc.code_of(s)
+            assert any(not (code ^ v) & m for m, v in cubes), s
+        for s in intruders:
+            code = enc.code_of(s)
+            assert all((code ^ v) & m for m, v in cubes), s
+
+    def test_hypothesis_failure_returns_none(self):
+        # intruder supercube containing a member -> None
+        enc = Encoding(
+            ["a", "b", "c", "d"], {"a": 0, "b": 3, "c": 1, "d": 2}, 2
+        )
+        # members {a, b} span everything; intruders {c, d} supercube
+        # also spans codes including members'
+        got = theorem1_cubes(enc, ["a", "b"], ["c", "d"])
+        assert got is None
+
+    def test_satisfied_constraint_single_cube(self):
+        enc = Encoding(
+            ["a", "b", "c", "d"], {"a": 0, "b": 1, "c": 2, "d": 3}, 2
+        )
+        cubes = theorem1_cubes(enc, ["a", "b"], [])
+        assert cubes == [(0b10, 0b00)]
+
+
+class TestPrefixGroupsAndSolve:
+    def test_caps(self):
+        groups = PrefixGroups(list("abcdefgh"), 3)
+        assert groups.cap_after_next_column() == 4
+
+    def test_column_validity(self):
+        groups = PrefixGroups(list("abcd"), 2)
+        ok = {"a": 0, "b": 0, "c": 1, "d": 1}
+        bad = {"a": 1, "b": 1, "c": 1, "d": 0}
+        assert groups.is_valid_column(ok)
+        assert not groups.is_valid_column(bad)
+
+    def test_generate_column_is_valid_and_deterministic(self):
+        cs = cset_of(10, [[0, 1, 2], [3, 4], [5, 6, 7, 8]])
+        matrix = ConstraintMatrix(cs, 4)
+        groups = PrefixGroups(list(cs.symbols), 4)
+        c1 = generate_column(matrix, groups)
+        c2 = generate_column(matrix, groups)
+        assert c1 == c2
+        assert groups.is_valid_column(c1)
+
+    def test_full_run_yields_injective(self):
+        cs = cset_of(9, [[0, 1], [2, 3, 4]])
+        matrix = ConstraintMatrix(cs, 4)
+        groups = PrefixGroups(list(cs.symbols), 4)
+        for _ in range(4):
+            col = generate_column(matrix, groups)
+            matrix.record_column(col)
+            groups.apply_column(col)
+        assert all(v == 1 for v in groups.group_sizes().values())
+
+
+class TestPicolaEncode:
+    def test_simple_all_satisfiable(self):
+        cs = cset_of(8, [[0, 1], [2, 3], [4, 5, 6, 7], [0, 1, 2, 3]])
+        res = picola_encode(cs)
+        assert res.encoding.is_injective()
+        assert len(res.satisfied) == 4
+
+    def test_accepts_symbols_plus_constraints(self):
+        res = picola_encode(
+            ["a", "b", "c", "d"], [FaceConstraint({"a", "b"})]
+        )
+        assert res.encoding.satisfies({"a", "b"})
+
+    def test_rejects_double_constraints(self):
+        cs = cset_of(4, [[0, 1]])
+        with pytest.raises(ValueError):
+            picola_encode(cs, [FaceConstraint({"s0", "s1"})])
+
+    def test_rejects_too_small_nv(self):
+        cs = cset_of(5, [[0, 1]])
+        with pytest.raises(ValueError):
+            picola_encode(cs, nv=2)
+
+    def test_infeasible_constraint_guided(self):
+        # 5-symbol constraint among 8 symbols in B^3 is infeasible
+        cs = cset_of(8, [[0, 1, 2, 3, 4]])
+        res = picola_encode(cs)
+        assert len(res.infeasible) == 1
+        assert res.summary().startswith("0/1")
+
+    def test_larger_nv_allowed(self):
+        cs = cset_of(8, [[0, 1, 2, 3, 4]])
+        res = picola_encode(cs, nv=4)
+        # with one spare bit the constraint is satisfiable
+        assert res.encoding.n_bits == 4
+        assert len(res.satisfied) == 1
+
+    def test_single_symbol(self):
+        res = picola_encode(["only"])
+        assert res.encoding.n_bits == 1
+        assert res.encoding.is_injective()
+
+    def test_deterministic(self):
+        cs = cset_of(10, [[0, 1, 2], [3, 4], [5, 6, 7, 8], [1, 5, 9]])
+        a = picola_encode(cs).encoding.codes
+        b = picola_encode(cs).encoding.codes
+        assert a == b
+
+    def test_options_presets(self):
+        cs = cset_of(6, [[0, 1], [2, 3]])
+        for preset in ("picola", "dichotomy_count", "constraint_count"):
+            res = picola_encode(
+                cs, options=PicolaOptions(weights=preset)
+            )
+            assert res.encoding.is_injective()
+
+    def test_beam_width_one_works(self):
+        cs = cset_of(8, [[0, 1, 2], [3, 4, 5]])
+        res = picola_encode(
+            cs, options=PicolaOptions(beam_width=1, beam_candidates=1)
+        )
+        assert res.encoding.is_injective()
+
+    def test_bad_beam_rejected(self):
+        cs = cset_of(4, [[0, 1]])
+        with pytest.raises(ValueError):
+            picola_encode(cs, options=PicolaOptions(beam_width=0))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_constraint_sets(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=12))
+        syms = [f"s{i}" for i in range(n)]
+        n_constraints = data.draw(st.integers(min_value=0, max_value=4))
+        constraints = []
+        for _ in range(n_constraints):
+            size = data.draw(st.integers(min_value=2, max_value=max(2, n - 1)))
+            members = data.draw(
+                st.sets(
+                    st.sampled_from(syms), min_size=min(size, n),
+                    max_size=min(size, n),
+                )
+            )
+            if 2 <= len(members) < n:
+                constraints.append(FaceConstraint(members))
+        res = picola_encode(ConstraintSet(syms, constraints))
+        assert res.encoding.is_injective()
+        # marks agree with geometric satisfaction
+        for row in res.matrix.original_rows():
+            if row.infeasible:
+                continue
+            assert row.satisfied() == res.encoding.satisfies(row.members)
+
+
+class TestRepair:
+    def test_polish_never_hurts_satisfaction_score(self):
+        cs = cset_of(8, [[0, 1], [2, 3], [4, 5]])
+        enc = Encoding.from_code_list(
+            cs.symbols, [0, 7, 1, 6, 2, 5, 3, 4], 3
+        )  # deliberately bad
+        before = sum(
+            1 for c in cs.nontrivial() if enc.satisfies(c.symbols)
+        )
+        polished = polish_encoding(enc, cs)
+        after = sum(
+            1 for c in cs.nontrivial() if polished.satisfies(c.symbols)
+        )
+        assert after >= before
+        assert polished.is_injective()
+
+    def test_polish_without_constraints_is_identity(self):
+        cs = ConstraintSet(["a", "b"])
+        enc = Encoding(["a", "b"], {"a": 0, "b": 1}, 1)
+        assert polish_encoding(enc, cs) is enc

@@ -1,0 +1,151 @@
+"""Tests for PLA containers and espresso-format I/O."""
+
+import pytest
+
+from repro.cubes import Space, contains
+from repro.espresso import Pla, espresso_pla, format_pla, parse_pla
+
+SAMPLE = """
+# a 2-input, 2-output example
+.i 2
+.o 2
+.ilb a b
+.ob f g
+.type fr
+.p 3
+01 10
+1- 01
+00 -1
+.e
+"""
+
+
+class TestParse:
+    def test_basic_shape(self):
+        pla = parse_pla(SAMPLE)
+        assert pla.n_inputs == 2
+        assert pla.n_outputs == 2
+        assert pla.input_labels == ["a", "b"]
+        assert pla.output_labels == ["f", "g"]
+        # rows 1, 2 and the g-half of row 3 are on-set; the f-half of
+        # row 3 ("-") is don't-care
+        assert len(pla.onset) == 3
+        assert len(pla.dcset) == 1
+
+    def test_output_semantics(self):
+        pla = parse_pla(SAMPLE)
+        # input 01 -> f=1
+        assert pla.eval_minterm([0, 1]) == [1, 0]
+        # input 10 -> g=1 (from row "1- 01")
+        assert pla.eval_minterm([1, 0]) == [0, 1]
+        # input 00 -> f is dc, g asserted
+        assert pla.eval_minterm([0, 0]) == [-1, 1]
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError):
+            parse_pla("01 1\n")
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            parse_pla(".i 2\n.o 1\n011 1\n")
+
+    def test_bad_chars_rejected(self):
+        with pytest.raises(ValueError):
+            parse_pla(".i 1\n.o 1\nx 1\n")
+        with pytest.raises(ValueError):
+            parse_pla(".i 1\n.o 1\n0 z\n")
+
+    def test_single_token_rows(self):
+        pla = parse_pla(".i 2\n.o 1\n011\n.e\n")
+        assert len(pla.onset) == 1
+
+    def test_comments_and_unknown_directives(self):
+        text = ".i 1\n.o 1\n.phase 1\n# hi\n0 1 # trailing\n.e\n"
+        pla = parse_pla(text)
+        assert len(pla.onset) == 1
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        pla = parse_pla(SAMPLE)
+        again = parse_pla(format_pla(pla))
+        assert sorted(again.onset) == sorted(pla.onset)
+        assert sorted(again.dcset) == sorted(pla.dcset)
+
+    def test_type_f_drops_dc(self):
+        pla = parse_pla(SAMPLE)
+        text = format_pla(pla, pla_type="f")
+        again = parse_pla(text)
+        assert again.dcset == []
+
+    def test_p_count_is_correct(self):
+        pla = parse_pla(SAMPLE)
+        text = format_pla(pla)
+        p_line = [l for l in text.splitlines() if l.startswith(".p")][0]
+        n_rows = len(
+            [l for l in text.splitlines()
+             if l and not l.startswith(".") and not l.startswith("#")]
+        )
+        assert int(p_line.split()[1]) == n_rows
+
+
+class TestPlaModel:
+    def test_add_term(self):
+        pla = Pla(2, 1)
+        pla.add_term("0-", "1")
+        assert pla.num_terms() == 1
+        assert pla.eval_minterm([0, 1]) == [1]
+
+    def test_literal_count(self):
+        pla = Pla(3, 1)
+        pla.add_term("0-1", "1")
+        pla.add_term("---", "1")
+        assert pla.literal_count() == 2
+
+    def test_gate_area(self):
+        pla = Pla(2, 2)
+        pla.add_term("01", "11")
+        assert pla.gate_area() == 1 * (2 * 2 + 2)
+
+    def test_copy_is_deep_enough(self):
+        pla = Pla(1, 1)
+        pla.add_term("0", "1")
+        twin = pla.copy()
+        twin.add_term("1", "1")
+        assert pla.num_terms() == 1
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Pla(-1, 1)
+        with pytest.raises(ValueError):
+            Pla(2, 0)
+
+    def test_off_set_disjoint_from_onset(self):
+        pla = parse_pla(SAMPLE)
+        off = pla.off_set()
+        space = pla.space
+        for m in space.iter_minterms():
+            in_on = any(contains(c, m) for c in pla.onset)
+            in_dc = any(contains(c, m) for c in pla.dcset)
+            in_off = any(contains(c, m) for c in off)
+            assert in_off == (not in_on and not in_dc)
+
+
+class TestEspressoPla:
+    def test_minimize_multioutput(self):
+        pla = Pla(2, 2)
+        pla.add_term("00", "10")
+        pla.add_term("01", "10")
+        pla.add_term("00", "01")
+        pla.add_term("01", "01")
+        out = espresso_pla(pla)
+        # both outputs equal x0' -> a single shared cube
+        assert out.num_terms() == 1
+
+    def test_dc_exploited(self):
+        pla = Pla(2, 1)
+        pla.add_term("00", "1")
+        pla.dcset.append(pla.space.parse_cube("01 1"))
+        out = espresso_pla(pla)
+        assert out.num_terms() == 1
+        assert out.space.format_cube(out.onset[0]) == "0- 1"

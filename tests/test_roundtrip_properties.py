@@ -1,0 +1,117 @@
+"""Hypothesis round-trip properties for the file formats and codecs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cubes import Space
+from repro.encoding import Encoding
+from repro.espresso import Pla, format_pla, parse_pla
+from repro.fsm import format_kiss, parse_kiss, synthesize_fsm
+
+
+@st.composite
+def machines(draw):
+    n_in = draw(st.integers(min_value=1, max_value=3))
+    n_out = draw(st.integers(min_value=1, max_value=3))
+    n_states = draw(st.integers(min_value=2, max_value=8))
+    n_terms = draw(st.integers(min_value=n_states, max_value=3 * n_states))
+    seed = draw(st.integers(min_value=0, max_value=50))
+    return synthesize_fsm("hyp", n_in, n_out, n_states, n_terms, seed)
+
+
+class TestKissRoundtrip:
+    @settings(max_examples=40, deadline=None)
+    @given(machines())
+    def test_parse_format_identity(self, fsm):
+        again = parse_kiss(format_kiss(fsm), name=fsm.name)
+        assert again.transitions == fsm.transitions
+        assert again.reset_state == fsm.reset_state
+        assert again.n_states == fsm.n_states
+
+
+@st.composite
+def plas(draw):
+    n_in = draw(st.integers(min_value=1, max_value=4))
+    n_out = draw(st.integers(min_value=1, max_value=3))
+    pla = Pla(n_in, n_out)
+    space = pla.space
+    n_cubes = draw(st.integers(min_value=0, max_value=6))
+    for _ in range(n_cubes):
+        fields = [
+            draw(st.integers(min_value=1, max_value=3))
+            for _ in range(n_in)
+        ]
+        fields.append(
+            draw(st.integers(min_value=1, max_value=(1 << n_out) - 1))
+        )
+        pla.onset.append(space.make_cube(fields))
+    n_dc = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(n_dc):
+        fields = [
+            draw(st.integers(min_value=1, max_value=3))
+            for _ in range(n_in)
+        ]
+        fields.append(
+            draw(st.integers(min_value=1, max_value=(1 << n_out) - 1))
+        )
+        pla.dcset.append(space.make_cube(fields))
+    return pla
+
+
+class TestPlaRoundtrip:
+    @settings(max_examples=60, deadline=None)
+    @given(plas())
+    def test_semantic_roundtrip(self, pla):
+        """Parsing the formatted PLA preserves per-minterm semantics.
+
+        The row set can change (one row with output '11' may split)
+        but the (on/off/dc) classification of every point must not.
+        """
+        again = parse_pla(format_pla(pla))
+        assert again.n_inputs == pla.n_inputs
+        assert again.n_outputs == pla.n_outputs
+        n = pla.n_inputs
+        for x in range(1 << n):
+            values = [(x >> (n - 1 - b)) & 1 for b in range(n)]
+            assert again.eval_minterm(values) == pla.eval_minterm(values)
+
+
+class TestEncodingColumnsRoundtrip:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_from_columns_inverts_columns(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=10))
+        nv = max(1, (n - 1).bit_length())
+        symbols = [f"s{i}" for i in range(n)]
+        codes = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=(1 << nv) - 1),
+                min_size=n, max_size=n,
+            )
+        )
+        enc = Encoding.from_code_list(symbols, codes, nv)
+        again = Encoding.from_columns(symbols, enc.columns())
+        assert again.codes == enc.codes
+        assert again.n_bits == enc.n_bits
+
+
+class TestSpaceFormatRoundtrip:
+    @settings(max_examples=80, deadline=None)
+    @given(st.data())
+    def test_format_parse_identity(self, data):
+        sizes = data.draw(
+            st.lists(
+                st.integers(min_value=2, max_value=5),
+                min_size=1, max_size=4,
+            )
+        )
+        space = Space(sizes)
+        fields = []
+        for size in sizes:
+            fields.append(
+                data.draw(
+                    st.integers(min_value=1, max_value=(1 << size) - 1)
+                )
+            )
+        cube = space.make_cube(fields)
+        assert space.parse_cube(space.format_cube(cube)) == cube

@@ -1,0 +1,101 @@
+"""Tests for the MAKE_SPARSE literal-reduction pass."""
+
+import random
+
+import pytest
+
+from repro.cubes import Space, contains
+from repro.espresso import (
+    espresso,
+    lower_outputs,
+    make_sparse,
+    raise_inputs,
+    verify_minimization,
+)
+
+
+def semantics(space, cover):
+    return {
+        m
+        for m in space.iter_minterms()
+        if any(contains(c, m) for c in cover)
+    }
+
+
+class TestLowerOutputs:
+    def test_drops_redundant_output_contact(self):
+        space = Space.binary(2, 2)
+        # cube A implements both outputs on 0-; cube B re-implements
+        # output 1 on the whole input space
+        a = space.parse_cube("0- 11")
+        b = space.parse_cube("-- 01")
+        lowered = lower_outputs(space, [a, b])
+        assert semantics(space, lowered) == semantics(space, [a, b])
+        # cube A should have dropped output 1
+        assert space.parse_cube("0- 10") in lowered
+
+    def test_keeps_last_value(self):
+        space = Space.binary(1, 2)
+        a = space.parse_cube("0 10")
+        assert lower_outputs(space, [a]) == [a]
+
+    def test_respects_dcset(self):
+        space = Space.binary(1, 2)
+        a = space.parse_cube("0 11")
+        dc = [space.parse_cube("0 01")]
+        lowered = lower_outputs(space, [a], dc)
+        assert lowered == [space.parse_cube("0 10")]
+
+
+class TestRaiseInputs:
+    def test_removes_redundant_literal(self):
+        space = Space.binary(2, 1)
+        cover = [space.parse_cube("00 1"), space.parse_cube("01 1")]
+        raised = raise_inputs(space, cover)
+        # both cubes can grow to 0-
+        assert all(
+            space.field(c, 1) == 0b11 for c in raised
+        )
+
+    def test_blocked_by_offset(self):
+        space = Space.binary(2, 1)
+        cover = [space.parse_cube("00 1")]
+        raised = raise_inputs(space, cover)
+        assert raised == cover  # anything bigger hits the off-set
+
+
+class TestMakeSparse:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_preserves_semantics_on_random_functions(self, seed):
+        rng = random.Random(seed)
+        space = Space.binary(3, 2)
+        minterms = list(space.iter_minterms())
+        onset = [m for m in minterms if rng.random() < 0.35]
+        if not onset:
+            return
+        minimized = espresso(space, onset)
+        sparse = make_sparse(space, minimized)
+        assert semantics(space, sparse) == semantics(space, onset)
+        verify_minimization(space, sparse, onset)
+
+    def test_never_increases_connections(self):
+        rng = random.Random(7)
+        space = Space.binary(4, 3)
+        minterms = list(space.iter_minterms())
+        onset = [m for m in minterms if rng.random() < 0.3]
+        minimized = espresso(space, onset)
+        sparse = make_sparse(space, minimized)
+
+        def connections(cover):
+            total = 0
+            for cube in cover:
+                for part in range(space.num_parts - 1):
+                    if space.field(cube, part) != 0b11:
+                        total += 1
+                total += bin(
+                    space.field(cube, space.num_parts - 1)
+                ).count("1")
+            return total
+
+        assert connections(sparse) <= connections(minimized)
+        assert len(sparse) <= len(minimized)

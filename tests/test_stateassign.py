@@ -1,0 +1,139 @@
+"""Tests for the state-assignment tool and encoded-machine correctness."""
+
+import pytest
+
+from repro.cubes import contains
+from repro.encoding import derive_face_constraints
+from repro.fsm import encode_fsm, load_benchmark, parse_kiss
+from repro.stateassign import METHODS, AssignmentResult, assign_states
+
+TOY = """
+.i 2
+.o 1
+.r a
+00 a a 0
+01 a b 0
+1- a c 1
+-- b a 1
+0- c b 0
+1- c c 1
+"""
+
+
+def simulate_symbolic(fsm, state, inputs):
+    """Next state and outputs per the symbolic description."""
+    for t in fsm.transitions_from(state):
+        if all(p in ("-", i) for p, i in zip(t.inputs, inputs)):
+            return t.next, t.outputs
+    return None, None
+
+
+class TestAssignStates:
+    def test_all_methods_run(self):
+        fsm = parse_kiss(TOY)
+        for method in METHODS:
+            result = assign_states(fsm, method, seed=1)
+            assert result.size > 0
+            assert result.encoding.is_injective()
+
+    def test_unknown_method_rejected(self):
+        fsm = parse_kiss(TOY)
+        with pytest.raises(ValueError):
+            assign_states(fsm, "made-up")
+
+    def test_minimized_preserves_behaviour(self):
+        """The minimized encoded PLA must agree with the symbolic FSM."""
+        fsm = parse_kiss(TOY)
+        result = assign_states(fsm, "picola")
+        enc = result.encoding
+        pla = result.minimized
+        n_in, n_bits = fsm.n_inputs, enc.n_bits
+        for state in fsm.states:
+            code = enc.code_of(state)
+            for x in range(1 << n_in):
+                inputs = format(x, f"0{n_in}b")
+                want_next, want_out = simulate_symbolic(fsm, state, inputs)
+                if want_next is None:
+                    continue  # unspecified
+                values = [int(ch) for ch in inputs]
+                values += [
+                    (code >> (n_bits - 1 - b)) & 1 for b in range(n_bits)
+                ]
+                got = pla.eval_minterm(values)
+                want_code = enc.code_of(want_next)
+                for b in range(n_bits):
+                    want_bit = (want_code >> (n_bits - 1 - b)) & 1
+                    assert got[b] in (want_bit, -1), (
+                        f"state {state} input {inputs} bit {b}"
+                    )
+                for o, ch in enumerate(want_out):
+                    if ch == "-":
+                        continue
+                    assert got[n_bits + o] in (int(ch), -1), (
+                        f"state {state} input {inputs} output {o}"
+                    )
+
+    def test_minimization_reduces_or_keeps_size(self):
+        fsm = load_benchmark("lion")
+        result = assign_states(fsm, "natural")
+        assert result.size <= result.pla.num_terms()
+
+    def test_shared_constraints_reused(self):
+        fsm = parse_kiss(TOY)
+        cset = derive_face_constraints(fsm)
+        result = assign_states(fsm, "picola", constraints=cset)
+        assert result.constraints is cset
+
+    def test_result_metrics(self):
+        fsm = parse_kiss(TOY)
+        result = assign_states(fsm, "picola")
+        assert result.literals >= 0
+        assert result.area == result.size * (
+            2 * result.minimized.n_inputs + result.minimized.n_outputs
+        )
+        assert fsm.name in result.summary() or "picola" in result.summary()
+
+    def test_no_minimize_flag(self):
+        fsm = parse_kiss(TOY)
+        result = assign_states(fsm, "natural", minimize=False)
+        assert result.minimized is result.pla
+
+
+class TestAssignOptions:
+    def test_reduce_option_minimizes_states(self):
+        kiss = """
+.i 1
+.o 1
+.r a
+0 a b 0
+1 a c 0
+0 b a 1
+1 b a 1
+0 c a 1
+1 c a 1
+"""
+        fsm = parse_kiss(kiss)
+        result = assign_states(fsm, "picola", reduce=True)
+        assert result.fsm.n_states == 2  # b and c merge
+        assert result.encoding.n_bits == 1
+
+    def test_sparse_option_never_worse(self):
+        fsm = load_benchmark("bbara")
+        plain = assign_states(fsm, "natural")
+        sparse = assign_states(fsm, "natural", sparse=True)
+        assert sparse.size <= plain.size
+        assert sparse.literals <= plain.literals
+
+    def test_sparse_result_still_correct(self):
+        from repro.fsm import cosimulate, random_input_sequence
+
+        fsm = load_benchmark("lion")
+        result = assign_states(fsm, "picola", sparse=True)
+        codes = {
+            s: result.encoding.code_of(s)
+            for s in result.encoding.symbols
+        }
+        cosimulate(
+            fsm, result.minimized, codes, result.encoding.n_bits,
+            random_input_sequence(fsm.n_inputs, 120, seed=2),
+        )

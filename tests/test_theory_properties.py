@@ -1,0 +1,192 @@
+"""Property tests for the paper's theory: soundness of the
+infeasibility detection and of the Theorem I construction.
+
+The critical property of Classify() is *soundness*: it must never
+declare a constraint (pair) infeasible when a satisfying encoding
+exists — killing a satisfiable constraint would be a correctness bug,
+not a heuristic weakness.  We check this by brute force on small
+symbol sets.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import nv_compatible, capacity_feasible, theorem1_cubes
+from repro.encoding import (
+    ConstraintMatrix,
+    ConstraintSet,
+    Encoding,
+    FaceConstraint,
+)
+
+
+def all_encodings(n_symbols, nv):
+    """Every injective assignment of nv-bit codes to the symbols."""
+    symbols = [f"s{i}" for i in range(n_symbols)]
+    for codes in itertools.permutations(range(1 << nv), n_symbols):
+        yield Encoding(symbols, dict(zip(symbols, codes)), nv)
+
+
+def jointly_satisfiable(n_symbols, nv, group_a, group_b):
+    for enc in all_encodings(n_symbols, nv):
+        if enc.satisfies(group_a) and enc.satisfies(group_b):
+            return True
+    return False
+
+
+def singly_satisfiable(n_symbols, nv, group):
+    return any(
+        enc.satisfies(group) for enc in all_encodings(n_symbols, nv)
+    )
+
+
+@st.composite
+def constraint_pairs(draw):
+    n = draw(st.integers(min_value=4, max_value=6))
+    nv = (n - 1).bit_length()
+    symbols = [f"s{i}" for i in range(n)]
+    a = draw(
+        st.sets(st.sampled_from(symbols), min_size=2, max_size=n - 1)
+    )
+    b = draw(
+        st.sets(st.sampled_from(symbols), min_size=2, max_size=n - 1)
+    )
+    return n, nv, frozenset(a), frozenset(b)
+
+
+class TestClassifySoundness:
+    @settings(max_examples=25, deadline=None)
+    @given(constraint_pairs())
+    def test_nv_compatible_never_kills_satisfiable_pairs(self, case):
+        n, nv, group_a, group_b = case
+        cset = ConstraintSet(
+            [f"s{i}" for i in range(n)],
+            [FaceConstraint(group_a), FaceConstraint(group_b)],
+        )
+        matrix = ConstraintMatrix(cset, nv)
+        compatible = nv_compatible(
+            matrix.rows[0], matrix.rows[1], nv, n
+        )
+        if jointly_satisfiable(n, nv, group_a, group_b):
+            assert compatible, (
+                f"nv_compatible killed a satisfiable pair: "
+                f"{sorted(group_a)} / {sorted(group_b)} in B^{nv}"
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(constraint_pairs())
+    def test_capacity_never_kills_satisfiable_constraints(self, case):
+        n, nv, group_a, _ = case
+        cset = ConstraintSet(
+            [f"s{i}" for i in range(n)], [FaceConstraint(group_a)]
+        )
+        matrix = ConstraintMatrix(cset, nv)
+        feasible = capacity_feasible(matrix.rows[0], nv, n)
+        if singly_satisfiable(n, nv, group_a):
+            assert feasible, (
+                f"capacity check killed satisfiable {sorted(group_a)} "
+                f"in B^{nv} with {n} symbols"
+            )
+
+
+@st.composite
+def encodings_with_groups(draw):
+    n = draw(st.integers(min_value=3, max_value=8))
+    nv = (n - 1).bit_length()
+    symbols = [f"s{i}" for i in range(n)]
+    codes = draw(st.permutations(list(range(1 << nv))))
+    enc = Encoding(symbols, dict(zip(symbols, codes[:n])), nv)
+    members = draw(
+        st.sets(st.sampled_from(symbols), min_size=1, max_size=n - 1)
+    )
+    return enc, sorted(members)
+
+
+class TestTheorem1Property:
+    @settings(max_examples=150, deadline=None)
+    @given(encodings_with_groups())
+    def test_construction_covers_and_excludes(self, case):
+        enc, members = case
+        intruders = enc.intruders(frozenset(members))
+        cubes = theorem1_cubes(enc, members, intruders)
+        if cubes is None:
+            # hypothesis failed: super(I) touches a member code
+            from repro.encoding import face_of
+
+            mask, value = face_of(
+                (enc.code_of(s) for s in intruders), enc.n_bits
+            )
+            assert any(
+                not (enc.code_of(s) ^ value) & mask for s in members
+            )
+            return
+        for s in members:
+            code = enc.code_of(s)
+            assert any(not (code ^ v) & m for m, v in cubes)
+        for s in intruders:
+            code = enc.code_of(s)
+            assert all((code ^ v) & m for m, v in cubes)
+        # every other symbol outside super(L) must also be excluded
+        for s in enc.symbols:
+            if s in members or s in intruders:
+                continue
+            code = enc.code_of(s)
+            assert all((code ^ v) & m for m, v in cubes)
+
+    @settings(max_examples=100, deadline=None)
+    @given(encodings_with_groups())
+    def test_cube_count_matches_dimension_formula(self, case):
+        enc, members = case
+        intruders = enc.intruders(frozenset(members))
+        cubes = theorem1_cubes(enc, members, intruders)
+        if cubes is None or not intruders:
+            return
+        dim_l = enc.face_dimension(members + intruders)
+        dim_i = enc.face_dimension(intruders)
+        assert len(cubes) == dim_l - dim_i
+
+
+class TestNvCompatibleDetectionPower:
+    """The soundness fix must not have neutered detection: known
+    impossible pairs are still rejected."""
+
+    def cset_rows(self, n, a, b, nv):
+        cset = ConstraintSet(
+            [f"s{i}" for i in range(n)],
+            [FaceConstraint(a), FaceConstraint(b)],
+        )
+        matrix = ConstraintMatrix(cset, nv)
+        return matrix.rows[0], matrix.rows[1], nv, n
+
+    def test_two_fat_triples_in_full_b3(self):
+        syms = [f"s{i}" for i in range(8)]
+        ra, rb, nv, n = self.cset_rows(
+            8, set(syms[:3]), set(syms[3:6]), 3
+        )
+        assert not nv_compatible(ra, rb, nv, n)
+
+    def test_overflowing_overlap(self):
+        syms = [f"s{i}" for i in range(8)]
+        ra, rb, nv, n = self.cset_rows(
+            8, set(syms[:5]), set(syms[3:8]), 3
+        )
+        assert not nv_compatible(ra, rb, nv, n)
+
+    def test_subset_pair_is_compatible(self):
+        syms = [f"s{i}" for i in range(8)]
+        ra, rb, nv, n = self.cset_rows(
+            8, set(syms[:2]), set(syms[:4]), 3
+        )
+        assert nv_compatible(ra, rb, nv, n)
+
+    def test_overlapping_faces_now_accepted(self):
+        # the falsifying example hypothesis found for the old check:
+        # {s0,s1,s2} and {s0,s3,s4} in B^3 with 5 symbols IS jointly
+        # satisfiable via faces 0-- and -0- meeting in 00-
+        syms = [f"s{i}" for i in range(5)]
+        ra, rb, nv, n = self.cset_rows(
+            5, {"s0", "s1", "s2"}, {"s0", "s3", "s4"}, 3
+        )
+        assert nv_compatible(ra, rb, nv, n)
