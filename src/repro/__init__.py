@@ -38,6 +38,17 @@ from .encoding import (
 )
 from .espresso import Pla, espresso, exact_minimize
 from .fsm import Fsm, load_benchmark, parse_kiss
+from .runtime import (
+    Budget,
+    BudgetExceeded,
+    Checkpoint,
+    CheckpointError,
+    Deadline,
+    InfeasibleError,
+    ParseError,
+    ReproError,
+    SolverTimeout,
+)
 from .stateassign import assign_states
 
 __version__ = "1.0.0"
@@ -61,5 +72,14 @@ __all__ = [
     "load_benchmark",
     "parse_kiss",
     "assign_states",
+    "Budget",
+    "BudgetExceeded",
+    "Checkpoint",
+    "CheckpointError",
+    "Deadline",
+    "InfeasibleError",
+    "ParseError",
+    "ReproError",
+    "SolverTimeout",
     "__version__",
 ]

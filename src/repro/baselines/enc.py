@@ -22,12 +22,13 @@ from typing import Dict, List, Optional, Tuple
 from ..encoding.codes import Encoding
 from ..encoding.constraints import ConstraintSet
 from ..encoding.evaluate import cubes_for_constraint
+from ..runtime import Budget, BudgetExceeded, faults
 from .simple import natural_encoding
 
 __all__ = ["EncResult", "EncBudgetExceeded", "enc_encode"]
 
 
-class EncBudgetExceeded(RuntimeError):
+class EncBudgetExceeded(BudgetExceeded):
     """The minimization budget ran out before reaching a local optimum.
 
     Mirrors the failure the paper reports for ENC on the largest
@@ -44,15 +45,22 @@ class EncResult:
 
 
 def _total_cubes(
-    enc: Encoding, cset: ConstraintSet, counter: List[int], budget: int
+    enc: Encoding,
+    cset: ConstraintSet,
+    counter: List[int],
+    max_minimizations: int,
+    budget: Optional[Budget],
 ) -> int:
+    faults.trip("enc.minimize")
     total = 0
     for c in cset.nontrivial():
         counter[0] += 1
-        if counter[0] > budget:
+        if counter[0] > max_minimizations:
             raise EncBudgetExceeded(
-                f"exceeded {budget} constraint minimizations"
+                f"exceeded {max_minimizations} constraint minimizations"
             )
+        if budget is not None:
+            budget.tick(where="enc_encode")
         total += cubes_for_constraint(enc, c)
     return total
 
@@ -65,13 +73,17 @@ def enc_encode(
     max_minimizations: int = 20000,
     max_passes: int = 8,
     strict: bool = False,
+    budget: Optional[Budget] = None,
 ) -> EncResult:
     """Iterative minimizer-in-the-loop encoding.
 
     ``strict=True`` re-raises :class:`EncBudgetExceeded`; by default a
     budget blowout returns the best encoding found with
     ``converged=False`` (the harness reports such rows as failures,
-    like the paper does for scf).
+    like the paper does for scf).  An external ``budget`` (wall-clock
+    deadline / shared node counter) is *not* degraded here — its
+    :class:`~repro.runtime.BudgetExceeded` propagates so the harness
+    can mark the cell as timed out rather than merely non-converged.
     """
     symbols = list(cset.symbols)
     if nv is None:
@@ -82,7 +94,9 @@ def enc_encode(
     codes: Dict[str, int] = dict(enc.codes)
 
     try:
-        best_total = _total_cubes(enc, cset, counter, max_minimizations)
+        best_total = _total_cubes(
+            enc, cset, counter, max_minimizations, budget
+        )
         for _ in range(max_passes):
             improved = False
             # candidate moves: all pair swaps plus moves to free codes,
@@ -108,7 +122,7 @@ def enc_encode(
                     codes[a] = free
                 trial = Encoding(symbols, codes, nv)
                 total = _total_cubes(
-                    trial, cset, counter, max_minimizations
+                    trial, cset, counter, max_minimizations, budget
                 )
                 if total < best_total:
                     best_total = total

@@ -24,6 +24,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..encoding.codes import Encoding
 from ..fsm import Fsm
+from ..runtime import Budget, InfeasibleError, faults
 from .nova import state_affinity
 
 __all__ = ["MustangResult", "mustang_encode", "attraction_graph"]
@@ -89,13 +90,14 @@ def mustang_encode(
     variant: str = "p",
     seed: int = 0,
     anneal_moves: int = 3000,
+    budget: Optional[Budget] = None,
 ) -> MustangResult:
     """Adjacency-driven minimum-length encoding of the FSM's states."""
     states = fsm.states
     if nv is None:
         nv = fsm.min_code_length()
     if (1 << nv) < len(states):
-        raise ValueError("code length too small")
+        raise InfeasibleError("code length too small")
     weights = attraction_graph(fsm, variant)
     rng = random.Random(seed)
 
@@ -135,6 +137,9 @@ def mustang_encode(
     temperature = max(1.0, current / 10 + 1)
     all_codes = list(range(1 << nv))
     for _ in range(anneal_moves):
+        faults.trip("mustang.move")
+        if budget is not None:
+            budget.tick(where="mustang_encode")
         s = states[rng.randrange(len(states))]
         target = all_codes[rng.randrange(len(all_codes))]
         owner = next(

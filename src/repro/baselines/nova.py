@@ -28,6 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..encoding.codes import Encoding, face_of
 from ..encoding.constraints import ConstraintSet, FaceConstraint
+from ..runtime import Budget, InfeasibleError, faults
 
 __all__ = ["NovaResult", "nova_encode", "state_affinity"]
 
@@ -48,6 +49,7 @@ def nova_encode(
     affinity: Optional[Mapping[Tuple[str, str], float]] = None,
     seed: int = 0,
     anneal_moves: int = 4000,
+    budget: Optional[Budget] = None,
 ) -> NovaResult:
     """Encode with the NOVA-style objective; deterministic per seed."""
     if variant not in ("i_greedy", "i_hybrid", "io_hybrid"):
@@ -58,7 +60,7 @@ def nova_encode(
     if nv is None:
         nv = cset.min_code_length()
     if (1 << nv) < len(symbols):
-        raise ValueError("code length too small")
+        raise InfeasibleError("code length too small")
     rng = random.Random(seed)
     constraints = cset.nontrivial()
 
@@ -67,7 +69,7 @@ def nova_encode(
         codes = _anneal(
             symbols, constraints, codes, nv, rng,
             affinity if variant == "io_hybrid" else None,
-            anneal_moves,
+            anneal_moves, budget,
         )
     enc = Encoding(symbols, codes, nv)
     sat = sum(1 for c in constraints if enc.satisfies(c.symbols))
@@ -205,6 +207,7 @@ def _anneal(
     rng: random.Random,
     affinity: Optional[Mapping[Tuple[str, str], float]],
     moves: int,
+    budget: Optional[Budget] = None,
 ) -> Dict[str, int]:
     codes = dict(codes)
     current = _objective(symbols, constraints, codes, nv, affinity)
@@ -215,6 +218,9 @@ def _anneal(
     temperature = max(1.0, len(constraints) / 4.0)
     cooling = 0.995 if moves else 1.0
     for _ in range(moves):
+        faults.trip("nova.move")
+        if budget is not None:
+            budget.tick(where="nova_encode")
         s = symbols[rng.randrange(n)]
         target = all_codes[rng.randrange(len(all_codes))]
         owner = None

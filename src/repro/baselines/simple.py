@@ -7,6 +7,7 @@ from typing import Optional, Sequence
 
 from ..encoding.codes import Encoding
 from ..encoding.constraints import ConstraintSet
+from ..runtime import InfeasibleError
 
 __all__ = ["natural_encoding", "gray_encoding", "random_encoding",
            "best_random_encoding"]
@@ -16,7 +17,7 @@ def _nv(symbols: Sequence[str], nv: Optional[int]) -> int:
     if nv is None:
         nv = max(1, (len(symbols) - 1).bit_length())
     if (1 << nv) < len(symbols):
-        raise ValueError("code length too small")
+        raise InfeasibleError("code length too small")
     return nv
 
 

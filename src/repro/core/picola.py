@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..encoding.codes import Encoding
 from ..encoding.constraints import ConstraintSet, FaceConstraint
 from ..encoding.matrix import ConstraintMatrix, ConstraintRow
+from ..runtime import Budget, InfeasibleError, faults
 from .classify import classify
 from .guides import guide_constraint
 from .solve import PrefixGroups, candidate_columns
@@ -168,6 +169,7 @@ def picola_encode(
     *,
     nv: Optional[int] = None,
     options: Optional[PicolaOptions] = None,
+    budget: Optional[Budget] = None,
 ) -> PicolaResult:
     """Encode symbols under face constraints with minimum code length.
 
@@ -175,6 +177,8 @@ def picola_encode(
     ``(symbols, constraints)``.  ``nv`` defaults to ``ceil(log2 n)``
     — the minimum length; larger values are allowed (the algorithm
     generalizes) but the paper's problem is the minimum one.
+    ``budget`` is a cooperative :class:`~repro.runtime.Budget` checked
+    once per column per beam state.
     """
     if isinstance(symbols_or_set, ConstraintSet):
         cset = symbols_or_set
@@ -193,7 +197,7 @@ def picola_encode(
     if nv is None:
         nv = cset.min_code_length()
     if (1 << nv) < cset.n_symbols:
-        raise ValueError(
+        raise InfeasibleError(
             f"{nv} bits cannot distinguish {cset.n_symbols} symbols"
         )
 
@@ -207,8 +211,11 @@ def picola_encode(
     ]
     classified_once = False
     for j in range(nv):
+        faults.trip("picola.column")
         children: List[Tuple[float, int, _BeamState]] = []
         for state in beam:
+            if budget is not None:
+                budget.tick(where="picola_encode")
             if options.dynamic_classify or not classified_once:
                 _update_constraints(state, options)
             candidates = candidate_columns(

@@ -25,13 +25,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..runtime import (
+    Budget,
+    BudgetExceeded,
+    InfeasibleError,
+    SolverTimeout,
+    faults,
+)
 from .codes import Encoding, face_of
 from .constraints import ConstraintSet, FaceConstraint
 
 __all__ = ["ExactEncodingResult", "exact_encode", "ExactSearchBudget"]
 
 
-class ExactSearchBudget(RuntimeError):
+class ExactSearchBudget(BudgetExceeded):
     """The node budget ran out before the search completed."""
 
 
@@ -73,19 +80,23 @@ def exact_encode(
     *,
     max_nodes: int = 2_000_000,
     strict: bool = False,
+    budget: Optional[Budget] = None,
 ) -> ExactEncodingResult:
     """Provably maximize weighted satisfied constraints at length nv.
 
     ``strict=True`` raises :class:`ExactSearchBudget` when the node
     budget runs out; otherwise the best encoding found so far is
-    returned with ``optimal=False``.
+    returned with ``optimal=False``.  An external :class:`Budget`
+    (wall-clock deadline and/or shared node counter) is checked at
+    every search node; in non-strict mode its exhaustion also degrades
+    to best-so-far once a complete assignment exists.
     """
     symbols = list(cset.symbols)
     n = len(symbols)
     if nv is None:
         nv = cset.min_code_length()
     if (1 << nv) < n:
-        raise ValueError("code length too small")
+        raise InfeasibleError("code length too small")
     constraints = cset.nontrivial()
     weights = [c.weight for c in constraints]
     min_dims = [c.min_dimension() for c in constraints]
@@ -135,6 +146,9 @@ def exact_encode(
         if budget_hit:
             return
         nodes += 1
+        faults.trip("exact.node")
+        if budget is not None:
+            budget.tick(where="exact_encode")
         if nodes > max_nodes:
             budget_hit = True
             return
@@ -167,7 +181,14 @@ def exact_encode(
             del placed[symbol]
         return
 
-    search(0)
+    try:
+        search(0)
+    except (SolverTimeout, BudgetExceeded):
+        # external budget/deadline: degrade to best-so-far unless the
+        # caller demanded a provably optimal answer
+        if strict or best_codes is None:
+            raise
+        budget_hit = True
     if best_codes is None:
         raise ExactSearchBudget("no complete assignment explored")
     if budget_hit and strict:

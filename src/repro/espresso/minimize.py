@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..cubes import Space, absorb, complement, contains, cover_contains_cube
+from ..runtime import Budget, faults
 from .expand import expand, expand_cube
 from .irredundant import irredundant, relatively_essential
 from .pla import Pla
@@ -60,11 +61,14 @@ def espresso(
     use_lastgasp: bool = True,
     max_iterations: int = 20,
     stats: Optional[EspressoStats] = None,
+    budget: Optional[Budget] = None,
 ) -> List[int]:
     """Heuristically minimize ``onset`` with don't-cares ``dcset``.
 
     Returns a new cover with the same coverage over the care set,
-    typically with (near-)minimal cube count.
+    typically with (near-)minimal cube count.  ``budget`` is a
+    cooperative deadline/counter checked once per improvement
+    iteration (the passes themselves are not interrupted).
     """
     if stats is None:
         stats = EspressoStats()
@@ -93,6 +97,9 @@ def espresso(
 
     best = cover_cost(space, cover)
     while stats.iterations < max_iterations:
+        faults.trip("espresso.iteration")
+        if budget is not None:
+            budget.tick(where="espresso")
         stats.iterations += 1
         cover = reduce_cover(space, cover, dc)
         cover = expand(space, cover, off)

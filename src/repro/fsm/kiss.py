@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..runtime import ParseError
 from .machine import Fsm, Transition
 
 __all__ = ["parse_kiss", "format_kiss"]
@@ -49,7 +50,7 @@ def parse_kiss(
             key = parts[0]
             if key in (".i", ".o", ".s", ".p", ".r"):
                 if len(parts) < 2:
-                    raise ValueError(
+                    raise ParseError(
                         f"directive {key} needs an argument: {line!r}"
                     )
                 try:
@@ -64,7 +65,7 @@ def parse_kiss(
                     else:
                         reset = parts[1]
                 except ValueError as exc:
-                    raise ValueError(
+                    raise ParseError(
                         f"bad directive argument: {line!r}"
                     ) from exc
             elif key in (".e", ".end"):
@@ -72,27 +73,39 @@ def parse_kiss(
             continue
         fields = line.split()
         if len(fields) != 4:
-            raise ValueError(f"bad KISS row: {line!r}")
+            raise ParseError(f"bad KISS row: {line!r}")
         inputs, present, nxt, outputs = fields
         if n_inputs is not None and len(inputs) != n_inputs:
-            raise ValueError(f"input width mismatch in row {line!r}")
+            raise ParseError(f"input width mismatch in row {line!r}")
         if n_outputs is not None and len(outputs) != n_outputs:
-            raise ValueError(f"output width mismatch in row {line!r}")
-        fsm.add(inputs, present, nxt, outputs)
+            raise ParseError(f"output width mismatch in row {line!r}")
+        try:
+            fsm.add(inputs, present, nxt, outputs)
+        except ValueError as exc:
+            raise ParseError(
+                f"bad KISS row {line!r}: {exc}"
+            ) from exc
     fsm.reset_state = reset
     if not fsm.transitions:
-        raise ValueError("KISS file has no transitions")
+        raise ParseError("KISS file has no transitions")
     if n_terms is not None and n_terms != len(fsm.transitions):
-        raise ValueError(
+        raise ParseError(
             f".p says {n_terms} terms, file has {len(fsm.transitions)}"
         )
     if n_states is not None and n_states != fsm.n_states:
-        raise ValueError(
+        raise ParseError(
             f".s says {n_states} states, file has {fsm.n_states}"
         )
-    fsm.validate()
-    if check_deterministic:
-        fsm.check_deterministic()
+    try:
+        fsm.validate()
+        if check_deterministic:
+            fsm.check_deterministic()
+    except ParseError:
+        raise
+    except ValueError as exc:
+        # machine-level validation failures are parse errors when the
+        # machine came from text
+        raise ParseError(str(exc)) from exc
     return fsm
 
 

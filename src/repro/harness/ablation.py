@@ -8,16 +8,27 @@
   dynamically done during the encoding process");
 * D — the final repair pass on/off (an implementation liberty of this
   reproduction; see repro.core.repair).
+
+``include_exact=True`` adds the branch-and-bound optimality reference
+(:func:`repro.encoding.exact_encode`) as an extra column, run under a
+node/wall-clock budget; a cell whose budget blows up degrades to
+``BUDGET``/``TIMEOUT`` instead of killing the run.  Whole-FSM
+failures are likewise isolated into ``FAILED`` rows, and a
+``checkpoint`` path makes long ablations resumable.
 """
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..core import PicolaOptions, picola_encode
 from ..encoding import derive_face_constraints, evaluate_encoding
+from ..encoding.exact import exact_encode
 from ..fsm import load_benchmark
+from ..runtime import Budget, BudgetExceeded, Checkpoint, SolverTimeout, faults
+from ..runtime.isolation import run_isolated
 from .report import render_table
 from .table1 import QUICK_FSMS
 
@@ -33,30 +44,111 @@ ABLATION_VARIANTS: Dict[str, PicolaOptions] = {
     "greedy_beam": PicolaOptions(beam_width=1, beam_candidates=1),
 }
 
+#: the optimality-reference pseudo-variant (not a PicolaOptions)
+EXACT_VARIANT = "exact"
+
 
 @dataclass
 class AblationReport:
     variants: List[str]
-    cubes: Dict[str, Dict[str, int]] = field(default_factory=dict)
-    satisfied: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    cubes: Dict[str, Dict[str, Optional[int]]] = field(
+        default_factory=dict
+    )
+    satisfied: Dict[str, Dict[str, Optional[int]]] = field(
+        default_factory=dict
+    )
+    #: per-cell degradation reasons, fsm -> variant -> reason
+    cell_status: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: whole-FSM failures, fsm -> reason
+    failures: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
 
     def total(self, variant: str) -> int:
-        return sum(self.cubes[f][variant] for f in self.cubes)
+        return sum(
+            self.cubes[f][variant]
+            for f in self.cubes
+            if self.cubes[f].get(variant) is not None
+        )
 
     def render(self) -> str:
         headers = ["FSM"] + list(self.variants)
         rows = []
         for fsm in self.cubes:
+            cells: List[object] = [fsm]
+            for v in self.variants:
+                cube = self.cubes[fsm].get(v)
+                if cube is None:
+                    reason = self.cell_status.get(fsm, {}).get(v)
+                    cells.append(reason.upper() if reason else None)
+                else:
+                    cells.append(cube)
+            rows.append(cells)
+        for fsm, reason in self.failures.items():
             rows.append(
-                [fsm] + [self.cubes[fsm][v] for v in self.variants]
+                [fsm, f"FAILED ({reason})"]
+                + [None] * (len(self.variants) - 1)
             )
         footer = ["total"] + [self.total(v) for v in self.variants]
-        return render_table(
+        table = render_table(
             headers, rows,
             title="Ablation - total constraint-implementation cubes "
                   "per PICOLA variant",
             footer=footer,
         )
+        if self.failures:
+            failed = ", ".join(
+                f"{fsm} ({reason})"
+                for fsm, reason in self.failures.items()
+            )
+            table += f"\n{self.n_failed} benchmark(s) failed: {failed}"
+        return table
+
+
+def _ablation_cells(
+    name: str,
+    variants: Sequence[str],
+    *,
+    timeout: Optional[float],
+    exact_nodes: int,
+) -> Dict[str, Dict[str, Any]]:
+    """All variant cells for one FSM (runs inside the fault boundary)."""
+    faults.trip("ablation.fsm", key=name)
+    fsm = load_benchmark(name)
+    cset = derive_face_constraints(fsm)
+    cells: Dict[str, Dict[str, Any]] = {
+        "cubes": {}, "satisfied": {}, "status": {},
+    }
+    for variant in variants:
+        try:
+            if variant == EXACT_VARIANT:
+                result = exact_encode(
+                    cset, strict=True,
+                    budget=Budget(
+                        max_nodes=exact_nodes, seconds=timeout
+                    ),
+                )
+            else:
+                result = picola_encode(
+                    cset, options=ABLATION_VARIANTS[variant],
+                    budget=Budget(seconds=timeout),
+                )
+        except SolverTimeout:
+            cells["cubes"][variant] = None
+            cells["satisfied"][variant] = None
+            cells["status"][variant] = "timeout"
+            continue
+        except BudgetExceeded:
+            cells["cubes"][variant] = None
+            cells["satisfied"][variant] = None
+            cells["status"][variant] = "budget"
+            continue
+        evaluation = evaluate_encoding(result.encoding, cset)
+        cells["cubes"][variant] = evaluation.total_cubes
+        cells["satisfied"][variant] = evaluation.n_satisfied
+    return cells
 
 
 def run_ablation(
@@ -64,24 +156,54 @@ def run_ablation(
     variants: Optional[Sequence[str]] = None,
     *,
     verbose: bool = False,
+    include_exact: bool = False,
+    exact_nodes: int = 250_000,
+    timeout: Optional[float] = None,
+    checkpoint: Optional[Union[str, pathlib.Path, Checkpoint]] = None,
 ) -> AblationReport:
     if fsms is None:
         fsms = QUICK_FSMS
     if variants is None:
         variants = list(ABLATION_VARIANTS)
-    report = AblationReport(variants=list(variants))
+    variants = list(variants)
+    if include_exact and EXACT_VARIANT not in variants:
+        variants.append(EXACT_VARIANT)
+    ckpt: Optional[Checkpoint] = None
+    if checkpoint is not None:
+        ckpt = (
+            checkpoint if isinstance(checkpoint, Checkpoint)
+            else Checkpoint(checkpoint, experiment="ablation")
+        )
+    report = AblationReport(variants=variants)
     for name in fsms:
-        fsm = load_benchmark(name)
-        cset = derive_face_constraints(fsm)
-        report.cubes[name] = {}
-        report.satisfied[name] = {}
-        for variant in variants:
-            result = picola_encode(
-                cset, options=ABLATION_VARIANTS[variant]
-            )
-            evaluation = evaluate_encoding(result.encoding, cset)
-            report.cubes[name][variant] = evaluation.total_cubes
-            report.satisfied[name][variant] = evaluation.n_satisfied
+        if ckpt is not None and ckpt.is_done(name):
+            payload = ckpt.get(name)
+            report.cubes[name] = dict(payload.get("cubes", {}))
+            report.satisfied[name] = dict(payload.get("satisfied", {}))
+            status = dict(payload.get("status", {}))
+            if status:
+                report.cell_status[name] = status
+            if verbose:
+                print(f"{name}: resumed from checkpoint", flush=True)
+            continue
+        outcome = run_isolated(
+            _ablation_cells, name, variants,
+            timeout=timeout, exact_nodes=exact_nodes, label=name,
+        )
+        if not outcome.ok:
+            report.failures[name] = outcome.reason
+            if verbose:
+                print(
+                    f"{name}: FAILED ({outcome.reason})", flush=True
+                )
+            continue
+        cells = outcome.value
+        report.cubes[name] = cells["cubes"]
+        report.satisfied[name] = cells["satisfied"]
+        if cells["status"]:
+            report.cell_status[name] = cells["status"]
+        if ckpt is not None:
+            ckpt.mark_done(name, cells)
         if verbose:
             print(f"{name}: {report.cubes[name]}", flush=True)
     return report

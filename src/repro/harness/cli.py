@@ -9,6 +9,13 @@ Commands
 * ``encode <file.kiss2>`` — state-assign one KISS2 machine and print
   the encoding plus the minimized two-level size.
 * ``bench-list`` — list the registered benchmark machines.
+
+Robustness: the experiment commands take ``--timeout SECONDS`` (per
+solver) and ``--resume PATH`` (JSON checkpoint; created on first use,
+reused to skip completed benchmarks).  Structured failures
+(:class:`~repro.runtime.ReproError`) and I/O errors print a one-line
+diagnostic and exit with code 2; an experiment that completes but
+contains failed rows exits with code 1.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import List, Optional
 
 from ..encoding import derive_face_constraints
 from ..fsm import BENCHMARKS, parse_kiss
+from ..runtime import ReproError, faults
 from ..stateassign import assign_states
 from .ablation import run_ablation
 from .table1 import QUICK_FSMS, run_table1
@@ -37,6 +45,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def nonneg_seconds(text: str) -> float:
+        value = float(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError("must be >= 0")
+        return value
+
+    def add_runtime_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--timeout", type=nonneg_seconds, default=None,
+            metavar="SECONDS",
+            help="per-solver wall-clock limit; blown deadlines "
+                 "degrade to TIMEOUT/FAILED cells",
+        )
+        p.add_argument(
+            "--resume", default=None, metavar="PATH",
+            help="JSON checkpoint file; completed benchmarks are "
+                 "skipped on re-runs",
+        )
+
     p1 = sub.add_parser("table1", help="regenerate Table I")
     p1.add_argument("--quick", action="store_true",
                     help="small/medium FSM subset")
@@ -46,15 +73,20 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="skip the (slow) ENC baseline")
     p1.add_argument("--json", default=None, metavar="PATH",
                     help="also write the report as JSON")
+    add_runtime_flags(p1)
 
     p2 = sub.add_parser("table2", help="regenerate Table II")
     p2.add_argument("--quick", action="store_true")
     p2.add_argument("--fsm", nargs="*", default=None)
     p2.add_argument("--json", default=None, metavar="PATH")
+    add_runtime_flags(p2)
 
     p3 = sub.add_parser("ablation", help="PICOLA design ablations")
     p3.add_argument("--fsm", nargs="*", default=None)
     p3.add_argument("--json", default=None, metavar="PATH")
+    p3.add_argument("--exact", action="store_true",
+                    help="add the branch-and-bound reference column")
+    add_runtime_flags(p3)
 
     p4 = sub.add_parser("encode", help="state-assign a KISS2 file")
     p4.add_argument("kiss", help="path to a .kiss2 file")
@@ -89,6 +121,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p8.add_argument("--seeds", type=int, nargs="*", default=[0, 1, 2])
     p8.add_argument("--fsm", nargs="*", default=None)
+    p8.add_argument("--json", default=None, metavar="PATH")
+    add_runtime_flags(p8)
 
     sub.add_parser("bench-list", help="list benchmark machines")
     return parser
@@ -113,24 +147,33 @@ def _maybe_json(report, path: Optional[str]) -> None:
     print(f"wrote {path}")
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "table1":
         fsms = args.fsm or (QUICK_FSMS if args.quick else None)
         report = run_table1(
-            fsms, include_enc=not args.no_enc, verbose=True
+            fsms, include_enc=not args.no_enc, verbose=True,
+            timeout=args.timeout, checkpoint=args.resume,
         )
         print(report.render())
         _maybe_json(report, args.json)
+        return 1 if report.n_failed else 0
     elif args.command == "table2":
         fsms = args.fsm or (QUICK_FSMS2 if args.quick else None)
-        report = run_table2(fsms, verbose=True)
+        report = run_table2(
+            fsms, verbose=True,
+            timeout=args.timeout, checkpoint=args.resume,
+        )
         print(report.render())
         _maybe_json(report, args.json)
+        return 1 if report.n_failed else 0
     elif args.command == "ablation":
-        report = run_ablation(args.fsm, verbose=True)
+        report = run_ablation(
+            args.fsm, verbose=True, include_exact=args.exact,
+            timeout=args.timeout, checkpoint=args.resume,
+        )
         print(report.render())
         _maybe_json(report, args.json)
+        return 1 if report.n_failed else 0
     elif args.command == "encode":
         with open(args.kiss) as handle:
             fsm = parse_kiss(handle.read(), name=args.kiss)
@@ -182,9 +225,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .sweep import run_seed_sweep
 
         report = run_seed_sweep(
-            args.fsm, seeds=tuple(args.seeds), verbose=True
+            args.fsm, seeds=tuple(args.seeds), verbose=True,
+            timeout=args.timeout, checkpoint=args.resume,
         )
         print(report.render())
+        _maybe_json(report, args.json)
+        return 1 if report.n_failed else 0
     elif args.command == "bench-list":
         for name, spec in sorted(BENCHMARKS.items()):
             scaled = f"  [scaled from {spec.scaled_from}]" \
@@ -194,6 +240,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{spec.states}s/{spec.terms}p ({spec.source}){scaled}"
             )
     return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        faults.install_from_env()
+        return _dispatch(args)
+    except (ReproError, OSError) as exc:
+        print(f"picola: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

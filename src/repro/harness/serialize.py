@@ -1,9 +1,14 @@
 """Machine-readable serialization of the experiment reports.
 
-``to_dict``/``to_json`` for the Table I / Table II / ablation reports,
-so downstream tooling (plots, regression tracking) can consume runs
-without scraping the rendered text tables.  The CLI exposes it as
-``--json <path>`` on each experiment command.
+``to_dict``/``to_json`` for the Table I / Table II / ablation / sweep
+reports, so downstream tooling (plots, regression tracking) can
+consume runs without scraping the rendered text tables.  The CLI
+exposes it as ``--json <path>`` on each experiment command.
+
+Partial runs serialize faithfully: failed rows carry their ``status``
+and ``error`` fields, degraded cells stay ``null``, and the summary
+statistics only aggregate the rows that completed — so a report with
+one crashed benchmark still round-trips through JSON.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ import json
 from typing import Any, Dict
 
 from .ablation import AblationReport
+from .sweep import SeedSweepReport
 from .table1 import Table1Report
 from .table2 import Table2Report
 
@@ -21,34 +27,13 @@ __all__ = ["to_dict", "to_json"]
 def _table1(report: Table1Report) -> Dict[str, Any]:
     return {
         "experiment": "table1",
-        "rows": [
-            {
-                "fsm": r.fsm,
-                "constraints": r.n_constraints,
-                "cubes": {
-                    "nova": r.cubes_nova,
-                    "enc": r.cubes_enc,
-                    "picola": r.cubes_picola,
-                },
-                "enc_attempted": r.enc_attempted,
-                "seconds": {
-                    "nova": r.seconds_nova,
-                    "enc": r.seconds_enc,
-                    "picola": r.seconds_picola,
-                },
-                "paper": {
-                    "constraints": r.paper_constraints,
-                    "nova": r.paper_nova,
-                    "picola": r.paper_picola,
-                },
-            }
-            for r in report.rows
-        ],
+        "rows": [r.to_dict() for r in report.rows],
         "summary": {
             "picola_wins": report.picola_wins,
             "nova_wins": report.nova_wins,
             "ties": report.ties,
             "nova_overhead": report.nova_overhead,
+            "failed": report.n_failed,
         },
     }
 
@@ -57,21 +42,20 @@ def _table2(report: Table2Report) -> Dict[str, Any]:
     return {
         "experiment": "table2",
         "rows": [
-            {
-                "fsm": r.fsm,
-                "sizes": dict(r.sizes),
-                "seconds": dict(r.seconds),
-                "time_ratios": {
-                    m: r.time_ratio(m) for m in r.sizes
-                },
-            }
+            dict(
+                r.to_dict(),
+                time_ratios={m: r.time_ratio(m) for m in r.sizes},
+            )
             for r in report.rows
         ],
         "summary": {
             "totals": {
                 m: report.total_size(m)
-                for m in (report.rows[0].sizes if report.rows else {})
+                for m in (
+                    next((r.sizes for r in report.rows if r.ok), {})
+                )
             },
+            "failed": report.n_failed,
         },
     }
 
@@ -84,7 +68,39 @@ def _ablation(report: AblationReport) -> Dict[str, Any]:
         "satisfied": {
             f: dict(v) for f, v in report.satisfied.items()
         },
+        "cell_status": {
+            f: dict(v) for f, v in report.cell_status.items()
+        },
+        "failures": dict(report.failures),
         "totals": {v: report.total(v) for v in report.variants},
+    }
+
+
+def _sweep(report: SeedSweepReport) -> Dict[str, Any]:
+    return {
+        "experiment": "sweep",
+        "fsms": list(report.fsms),
+        "outcomes": [
+            {
+                "seed": o.seed,
+                "total_picola": o.total_picola,
+                "total_nova": o.total_nova,
+                "picola_wins": o.picola_wins,
+                "nova_wins": o.nova_wins,
+                "ties": o.ties,
+                "nova_overhead": o.nova_overhead,
+            }
+            for o in report.outcomes
+        ],
+        "failures": {
+            f"{seed}/{fsm}": reason
+            for (seed, fsm), reason in report.failures.items()
+        },
+        "summary": {
+            "mean_overhead": report.mean_overhead(),
+            "overhead_stddev": report.overhead_stddev(),
+            "failed": report.n_failed,
+        },
     }
 
 
@@ -96,6 +112,8 @@ def to_dict(report: Any) -> Dict[str, Any]:
         return _table2(report)
     if isinstance(report, AblationReport):
         return _ablation(report)
+    if isinstance(report, SeedSweepReport):
+        return _sweep(report)
     raise TypeError(f"unknown report type {type(report).__name__}")
 
 

@@ -6,19 +6,27 @@ particular draw.  ``run_seed_sweep`` regenerates the quick Table I
 comparison under several FSM-generator seeds and reports, per seed,
 the PICOLA/NOVA totals and win-loss record, plus aggregate mean and
 spread — the reproduction's robustness check.
+
+Each ``seed/fsm`` cell runs behind the :mod:`repro.runtime` fault
+boundary and is checkpointed as soon as it completes, so a killed
+sweep resumes from the last finished benchmark (``--resume`` in the
+CLI) and a single pathological draw degrades to a recorded failure
+instead of sinking the whole sweep.
 """
 
 from __future__ import annotations
 
 import math
-import time
+import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..baselines import nova_encode
 from ..core import picola_encode
 from ..encoding import derive_face_constraints, evaluate_encoding
 from ..fsm import BENCHMARKS, load_benchmark
+from ..runtime import Budget, Checkpoint, faults
+from ..runtime.isolation import run_isolated
 from .report import render_table
 from .table1 import QUICK_FSMS
 
@@ -47,6 +55,12 @@ class SeedOutcome:
 class SeedSweepReport:
     fsms: List[str]
     outcomes: List[SeedOutcome] = field(default_factory=list)
+    #: benchmarks that failed, as (seed, fsm) -> reason
+    failures: Dict[Tuple[int, str], str] = field(default_factory=dict)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
 
     def mean_overhead(self) -> float:
         if not self.outcomes:
@@ -91,11 +105,41 @@ class SeedSweepReport:
             rows,
             title="Seed sweep - Table I stability across FSM draws",
         )
-        return table + (
+        summary = (
             f"\nmean NOVA overhead {100 * self.mean_overhead():.1f}% "
             f"(stddev {100 * self.overhead_stddev():.1f} points) over "
             f"{len(self.outcomes)} seeds"
         )
+        if self.failures:
+            failed = ", ".join(
+                f"seed {seed}/{fsm} ({reason})"
+                for (seed, fsm), reason in self.failures.items()
+            )
+            summary += (
+                f"\n{self.n_failed} benchmark(s) failed and were "
+                f"excluded: {failed}"
+            )
+        return table + summary
+
+
+def _sweep_cell(
+    name: str,
+    seed: int,
+    nova_seed: int,
+    timeout: Optional[float],
+) -> Dict[str, int]:
+    """One (seed, fsm) comparison (runs inside the fault boundary)."""
+    faults.trip("sweep.benchmark", key=f"{seed}/{name}")
+    fsm = load_benchmark(name, seed=seed)
+    cset = derive_face_constraints(fsm)
+    pic = picola_encode(cset, budget=Budget(seconds=timeout))
+    nov = nova_encode(
+        cset, seed=nova_seed, budget=Budget(seconds=timeout)
+    )
+    return {
+        "picola": evaluate_encoding(pic.encoding, cset).total_cubes,
+        "nova": evaluate_encoding(nov.encoding, cset).total_cubes,
+    }
 
 
 def run_seed_sweep(
@@ -104,26 +148,57 @@ def run_seed_sweep(
     *,
     nova_seed: int = 1,
     verbose: bool = False,
+    timeout: Optional[float] = None,
+    checkpoint: Optional[Union[str, pathlib.Path, Checkpoint]] = None,
 ) -> SeedSweepReport:
-    """Re-run the quick Table I comparison for several FSM draws."""
+    """Re-run the quick Table I comparison for several FSM draws.
+
+    ``checkpoint`` records every completed ``seed/fsm`` cell so a
+    killed sweep resumes from the last finished benchmark; failed
+    benchmarks are recorded in ``report.failures`` and excluded from
+    the per-seed totals.
+    """
     if fsms is None:
         fsms = [f for f in QUICK_FSMS if BENCHMARKS[f].source != "file"]
+    ckpt: Optional[Checkpoint] = None
+    if checkpoint is not None:
+        ckpt = (
+            checkpoint if isinstance(checkpoint, Checkpoint)
+            else Checkpoint(checkpoint, experiment="sweep")
+        )
     report = SeedSweepReport(fsms=list(fsms))
     for seed in seeds:
         total_p = total_n = wins_p = wins_n = ties = 0
         for name in fsms:
-            fsm = load_benchmark(name, seed=seed)
-            cset = derive_face_constraints(fsm)
-            pic = picola_encode(cset)
-            nov = nova_encode(cset, seed=nova_seed)
-            cubes_p = evaluate_encoding(pic.encoding, cset).total_cubes
-            cubes_n = evaluate_encoding(nov.encoding, cset).total_cubes
+            key = f"{seed}/{name}"
+            if ckpt is not None and ckpt.is_done(key):
+                cell = ckpt.get(key)
+                if verbose:
+                    print(f"{key}: resumed from checkpoint", flush=True)
+            else:
+                outcome = run_isolated(
+                    _sweep_cell, name, seed, nova_seed, timeout,
+                    label=key,
+                )
+                if not outcome.ok:
+                    report.failures[(seed, name)] = outcome.reason
+                    if verbose:
+                        print(
+                            f"{key}: FAILED ({outcome.reason})",
+                            flush=True,
+                        )
+                    continue
+                cell = outcome.value
+                if ckpt is not None:
+                    ckpt.mark_done(key, cell)
+            cubes_p = cell["picola"]
+            cubes_n = cell["nova"]
             total_p += cubes_p
             total_n += cubes_n
             wins_p += cubes_p < cubes_n
             wins_n += cubes_n < cubes_p
             ties += cubes_p == cubes_n
-        outcome = SeedOutcome(
+        outcome_row = SeedOutcome(
             seed=seed,
             total_picola=total_p,
             total_nova=total_n,
@@ -131,7 +206,7 @@ def run_seed_sweep(
             nova_wins=wins_n,
             ties=ties,
         )
-        report.outcomes.append(outcome)
+        report.outcomes.append(outcome_row)
         if verbose:
             print(
                 f"seed {seed}: picola={total_p} nova={total_n}",

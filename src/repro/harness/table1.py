@@ -9,18 +9,27 @@ in the text: win/loss counts against NOVA and the global cost ratio).
 
 ENC runs under a minimization budget; a row whose budget blows up is
 reported as ``fails`` — the paper reports exactly that for ``scf``.
+
+Every benchmark runs behind the :mod:`repro.runtime` fault boundary:
+an FSM whose solvers crash or exceed the optional per-solver
+``timeout`` yields a ``FAILED (<reason>)`` row (or a ``TIMEOUT`` ENC
+cell) while the rest of the table completes, and a ``checkpoint``
+path makes long runs resumable after a kill.
 """
 
 from __future__ import annotations
 
+import pathlib
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..baselines import enc_encode, nova_encode
 from ..core import PicolaOptions, picola_encode
 from ..encoding import ConstraintSet, derive_face_constraints, evaluate_encoding
 from ..fsm import BENCHMARKS, TABLE1_FSMS, load_benchmark
+from ..runtime import Budget, BudgetExceeded, Checkpoint, SolverTimeout, faults
+from ..runtime.isolation import run_isolated
 from .report import render_table
 
 __all__ = ["Table1Row", "Table1Report", "run_table1", "QUICK_FSMS"]
@@ -40,17 +49,90 @@ ENC_SKIP = {"scf", "tbk", "kirkman", "s820", "s832", "s510", "planet"}
 @dataclass
 class Table1Row:
     fsm: str
-    n_constraints: int
-    cubes_nova: int
-    cubes_enc: Optional[int]  # None when failed or not attempted
-    enc_attempted: bool
-    cubes_picola: int
-    seconds_nova: float
-    seconds_enc: Optional[float]
-    seconds_picola: float
+    n_constraints: int = 0
+    cubes_nova: Optional[int] = None
+    cubes_enc: Optional[int] = None  # None when failed or not attempted
+    enc_attempted: bool = False
+    cubes_picola: Optional[int] = None
+    seconds_nova: Optional[float] = None
+    seconds_enc: Optional[float] = None
+    seconds_picola: Optional[float] = None
     paper_constraints: Optional[int] = None
     paper_nova: Optional[int] = None
     paper_picola: Optional[int] = None
+    #: "ok" | "timeout" | "budget" | "failed" — row-level outcome
+    status: str = "ok"
+    #: diagnostic for non-ok rows
+    error: Optional[str] = None
+    #: ENC-cell outcome when the row itself is ok ("timeout"/"budget")
+    enc_status: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def failure_reason(self) -> str:
+        if self.status in ("timeout", "budget"):
+            return self.status
+        return (self.error or "error").split(":", 1)[0]
+
+    # -- checkpoint / JSON payload -------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fsm": self.fsm,
+            "constraints": self.n_constraints,
+            "cubes": {
+                "nova": self.cubes_nova,
+                "enc": self.cubes_enc,
+                "picola": self.cubes_picola,
+            },
+            "enc_attempted": self.enc_attempted,
+            "seconds": {
+                "nova": self.seconds_nova,
+                "enc": self.seconds_enc,
+                "picola": self.seconds_picola,
+            },
+            "paper": {
+                "constraints": self.paper_constraints,
+                "nova": self.paper_nova,
+                "picola": self.paper_picola,
+            },
+            "status": self.status,
+            "error": self.error,
+            "enc_status": self.enc_status,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Table1Row":
+        cubes = data.get("cubes", {})
+        seconds = data.get("seconds", {})
+        paper = data.get("paper", {})
+        return cls(
+            fsm=data["fsm"],
+            n_constraints=data.get("constraints", 0),
+            cubes_nova=cubes.get("nova"),
+            cubes_enc=cubes.get("enc"),
+            enc_attempted=data.get("enc_attempted", False),
+            cubes_picola=cubes.get("picola"),
+            seconds_nova=seconds.get("nova"),
+            seconds_enc=seconds.get("enc"),
+            seconds_picola=seconds.get("picola"),
+            paper_constraints=paper.get("constraints"),
+            paper_nova=paper.get("nova"),
+            paper_picola=paper.get("picola"),
+            status=data.get("status", "ok"),
+            error=data.get("error"),
+            enc_status=data.get("enc_status"),
+        )
+
+
+def _comparable(rows: Sequence[Table1Row]) -> List[Table1Row]:
+    return [
+        r for r in rows
+        if r.ok and r.cubes_nova is not None
+        and r.cubes_picola is not None
+    ]
 
 
 @dataclass
@@ -60,21 +142,35 @@ class Table1Report:
     # -- summary statistics the paper quotes ---------------------------
     @property
     def picola_wins(self) -> int:
-        return sum(1 for r in self.rows if r.cubes_picola < r.cubes_nova)
+        return sum(
+            1 for r in _comparable(self.rows)
+            if r.cubes_picola < r.cubes_nova
+        )
 
     @property
     def nova_wins(self) -> int:
-        return sum(1 for r in self.rows if r.cubes_nova < r.cubes_picola)
+        return sum(
+            1 for r in _comparable(self.rows)
+            if r.cubes_nova < r.cubes_picola
+        )
 
     @property
     def ties(self) -> int:
-        return sum(1 for r in self.rows if r.cubes_nova == r.cubes_picola)
+        return sum(
+            1 for r in _comparable(self.rows)
+            if r.cubes_nova == r.cubes_picola
+        )
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.rows if not r.ok)
 
     @property
     def nova_overhead(self) -> float:
         """How much more expensive NOVA is overall (paper: ~11%)."""
-        total_picola = sum(r.cubes_picola for r in self.rows)
-        total_nova = sum(r.cubes_nova for r in self.rows)
+        rows = _comparable(self.rows)
+        total_picola = sum(r.cubes_picola for r in rows)
+        total_nova = sum(r.cubes_nova for r in rows)
         if total_picola == 0:
             return 0.0
         return (total_nova - total_picola) / total_picola
@@ -86,8 +182,17 @@ class Table1Report:
         ]
         rows = []
         for r in self.rows:
+            if not r.ok:
+                rows.append([
+                    r.fsm, f"FAILED ({r.failure_reason})",
+                    None, None, None,
+                    r.paper_constraints, r.paper_nova, r.paper_picola,
+                ])
+                continue
             if r.cubes_enc is not None:
                 enc_cell: object = r.cubes_enc
+            elif r.enc_status in ("timeout", "budget"):
+                enc_cell = r.enc_status.upper()
             elif r.enc_attempted:
                 enc_cell = "fails"
             else:
@@ -98,12 +203,16 @@ class Table1Report:
                 r.cubes_picola,
                 r.paper_constraints, r.paper_nova, r.paper_picola,
             ])
+        ok_rows = _comparable(self.rows)
         footer = [
             "total",
-            sum(r.n_constraints for r in self.rows),
-            sum(r.cubes_nova for r in self.rows),
-            sum(r.cubes_enc for r in self.rows if r.cubes_enc is not None),
-            sum(r.cubes_picola for r in self.rows),
+            sum(r.n_constraints for r in ok_rows),
+            sum(r.cubes_nova for r in ok_rows),
+            sum(
+                r.cubes_enc for r in ok_rows
+                if r.cubes_enc is not None
+            ),
+            sum(r.cubes_picola for r in ok_rows),
             None, None, None,
         ]
         table = render_table(
@@ -119,7 +228,78 @@ class Table1Report:
             f"NOVA overhead vs PICOLA: {100 * self.nova_overhead:.1f}% "
             f"(paper: ~11%)"
         )
+        if self.n_failed:
+            failed = ", ".join(
+                f"{r.fsm} ({r.failure_reason})"
+                for r in self.rows if not r.ok
+            )
+            summary += f"\n{self.n_failed} benchmark(s) failed: {failed}"
         return table + summary
+
+
+def _table1_row(
+    name: str,
+    *,
+    include_enc: bool,
+    enc_budget: int,
+    seed: int,
+    timeout: Optional[float],
+) -> Table1Row:
+    """Compute one Table I row (runs inside the fault boundary)."""
+    faults.trip("table1.row", key=name)
+    fsm = load_benchmark(name)
+    cset = derive_face_constraints(fsm)
+    spec = BENCHMARKS.get(name)
+
+    t0 = time.perf_counter()
+    picola = picola_encode(cset, budget=Budget(seconds=timeout))
+    t_picola = time.perf_counter() - t0
+    cubes_picola = evaluate_encoding(
+        picola.encoding, cset
+    ).total_cubes
+
+    t0 = time.perf_counter()
+    nova = nova_encode(cset, seed=seed, budget=Budget(seconds=timeout))
+    t_nova = time.perf_counter() - t0
+    cubes_nova = evaluate_encoding(nova.encoding, cset).total_cubes
+
+    cubes_enc: Optional[int] = None
+    t_enc: Optional[float] = None
+    enc_status: Optional[str] = None
+    enc_attempted = include_enc
+    if include_enc and name not in ENC_SKIP:
+        t0 = time.perf_counter()
+        try:
+            enc = enc_encode(
+                cset, seed=seed, max_minimizations=enc_budget,
+                budget=Budget(seconds=timeout),
+            )
+        except SolverTimeout:
+            enc_status = "timeout"
+        except BudgetExceeded:
+            enc_status = "budget"
+        else:
+            if enc.converged:
+                cubes_enc = evaluate_encoding(
+                    enc.encoding, cset
+                ).total_cubes
+        t_enc = time.perf_counter() - t0
+
+    return Table1Row(
+        fsm=name,
+        n_constraints=len(cset.nontrivial()),
+        cubes_nova=cubes_nova,
+        cubes_enc=cubes_enc,
+        enc_attempted=enc_attempted,
+        cubes_picola=cubes_picola,
+        seconds_nova=t_nova,
+        seconds_enc=t_enc,
+        seconds_picola=t_picola,
+        paper_constraints=spec.paper_constraints if spec else None,
+        paper_nova=spec.paper_cubes_nova if spec else None,
+        paper_picola=spec.paper_cubes_picola if spec else None,
+        enc_status=enc_status,
+    )
 
 
 def run_table1(
@@ -129,60 +309,58 @@ def run_table1(
     enc_budget: int = 6000,
     seed: int = 1,
     verbose: bool = False,
+    timeout: Optional[float] = None,
+    checkpoint: Optional[Union[str, pathlib.Path, Checkpoint]] = None,
 ) -> Table1Report:
-    """Regenerate Table I over the given FSM list (default: all rows)."""
+    """Regenerate Table I over the given FSM list (default: all rows).
+
+    ``timeout`` is a per-solver wall-clock limit in seconds; a PICOLA
+    or NOVA timeout fails the row gracefully, an ENC timeout only
+    marks the ENC cell.  ``checkpoint`` (path or
+    :class:`~repro.runtime.Checkpoint`) records each completed row so
+    an interrupted run resumes from the last finished benchmark.
+    """
     if fsms is None:
         fsms = TABLE1_FSMS
+    ckpt: Optional[Checkpoint] = None
+    if checkpoint is not None:
+        ckpt = (
+            checkpoint if isinstance(checkpoint, Checkpoint)
+            else Checkpoint(checkpoint, experiment="table1")
+        )
     report = Table1Report()
     for name in fsms:
-        fsm = load_benchmark(name)
-        cset = derive_face_constraints(fsm)
-        spec = BENCHMARKS.get(name)
-
-        t0 = time.perf_counter()
-        picola = picola_encode(cset)
-        t_picola = time.perf_counter() - t0
-        cubes_picola = evaluate_encoding(
-            picola.encoding, cset
-        ).total_cubes
-
-        t0 = time.perf_counter()
-        nova = nova_encode(cset, seed=seed)
-        t_nova = time.perf_counter() - t0
-        cubes_nova = evaluate_encoding(nova.encoding, cset).total_cubes
-
-        cubes_enc: Optional[int] = None
-        t_enc: Optional[float] = None
-        enc_attempted = include_enc
-        if include_enc and name not in ENC_SKIP:
-            t0 = time.perf_counter()
-            enc = enc_encode(
-                cset, seed=seed, max_minimizations=enc_budget
-            )
-            t_enc = time.perf_counter() - t0
-            if enc.converged:
-                cubes_enc = evaluate_encoding(
-                    enc.encoding, cset
-                ).total_cubes
-
-        row = Table1Row(
-            fsm=name,
-            n_constraints=len(cset.nontrivial()),
-            cubes_nova=cubes_nova,
-            cubes_enc=cubes_enc,
-            enc_attempted=enc_attempted,
-            cubes_picola=cubes_picola,
-            seconds_nova=t_nova,
-            seconds_enc=t_enc,
-            seconds_picola=t_picola,
-            paper_constraints=spec.paper_constraints if spec else None,
-            paper_nova=spec.paper_cubes_nova if spec else None,
-            paper_picola=spec.paper_cubes_picola if spec else None,
+        if ckpt is not None and ckpt.is_done(name):
+            row = Table1Row.from_dict(ckpt.get(name))
+            report.rows.append(row)
+            if verbose:
+                print(f"{name}: resumed from checkpoint", flush=True)
+            continue
+        outcome = run_isolated(
+            _table1_row, name,
+            include_enc=include_enc, enc_budget=enc_budget,
+            seed=seed, timeout=timeout,
+            label=name,
         )
-        report.rows.append(row)
-        if verbose:
-            print(
-                f"{name}: const={row.n_constraints} nova={cubes_nova} "
-                f"enc={cubes_enc} picola={cubes_picola}", flush=True,
+        if outcome.ok:
+            row = outcome.value
+        else:
+            row = Table1Row(
+                fsm=name, status=outcome.status, error=outcome.error
             )
+        report.rows.append(row)
+        if ckpt is not None and row.ok:
+            ckpt.mark_done(name, row.to_dict())
+        if verbose:
+            if row.ok:
+                print(
+                    f"{name}: const={row.n_constraints} "
+                    f"nova={row.cubes_nova} enc={row.cubes_enc} "
+                    f"picola={row.cubes_picola}", flush=True,
+                )
+            else:
+                print(
+                    f"{name}: FAILED ({row.failure_reason})",
+                    flush=True,
+                )
     return report

@@ -6,15 +6,23 @@ IWLS-93 FSM in two levels under three state assignments — NOVA
 reports the minimized product-term count ("size") plus run times
 normalized to NOVA i_hybrid.  This module regenerates those rows and
 the totals line.
+
+Rows run behind the :mod:`repro.runtime` fault boundary: a crashing
+benchmark yields a ``FAILED (<reason>)`` row, a method that exceeds
+the optional per-method ``timeout`` renders a ``TIMEOUT`` cell, and a
+``checkpoint`` path makes long runs resumable.
 """
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..encoding import derive_face_constraints
 from ..fsm import TABLE2_FSMS, load_benchmark
+from ..runtime import Budget, BudgetExceeded, Checkpoint, SolverTimeout, faults
+from ..runtime.isolation import run_isolated
 from ..stateassign import assign_states
 from .report import render_table
 
@@ -30,14 +38,52 @@ TABLE2_METHODS = ("nova_ih", "nova_ioh", "picola")
 @dataclass
 class Table2Row:
     fsm: str
-    sizes: Dict[str, int]
-    seconds: Dict[str, float]
+    sizes: Dict[str, Optional[int]] = field(default_factory=dict)
+    seconds: Dict[str, Optional[float]] = field(default_factory=dict)
+    #: "ok" | "timeout" | "budget" | "failed" — row-level outcome
+    status: str = "ok"
+    error: Optional[str] = None
+    #: per-method cell outcome for non-numeric cells
+    method_status: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def failure_reason(self) -> str:
+        if self.status in ("timeout", "budget"):
+            return self.status
+        return (self.error or "error").split(":", 1)[0]
 
     def time_ratio(self, method: str) -> Optional[float]:
         base = self.seconds.get("nova_ih")
-        if not base:
+        seconds = self.seconds.get(method)
+        if not base or seconds is None:
             return None
-        return self.seconds[method] / base
+        return seconds / base
+
+    # -- checkpoint / JSON payload -------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fsm": self.fsm,
+            "sizes": dict(self.sizes),
+            "seconds": dict(self.seconds),
+            "status": self.status,
+            "error": self.error,
+            "method_status": dict(self.method_status),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Table2Row":
+        return cls(
+            fsm=data["fsm"],
+            sizes=dict(data.get("sizes", {})),
+            seconds=dict(data.get("seconds", {})),
+            status=data.get("status", "ok"),
+            error=data.get("error"),
+            method_status=dict(data.get("method_status", {})),
+        )
 
 
 @dataclass
@@ -45,7 +91,14 @@ class Table2Report:
     rows: List[Table2Row] = field(default_factory=list)
 
     def total_size(self, method: str) -> int:
-        return sum(r.sizes[method] for r in self.rows)
+        return sum(
+            r.sizes[method] for r in self.rows
+            if r.ok and r.sizes.get(method) is not None
+        )
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.rows if not r.ok)
 
     def render(self) -> str:
         headers = [
@@ -56,12 +109,24 @@ class Table2Report:
         ]
         rows = []
         for r in self.rows:
-            rows.append([
-                r.fsm,
-                r.sizes["nova_ih"], r.time_ratio("nova_ih"),
-                r.sizes["nova_ioh"], r.time_ratio("nova_ioh"),
-                r.sizes["picola"], r.time_ratio("picola"),
-            ])
+            if not r.ok:
+                rows.append([
+                    r.fsm, f"FAILED ({r.failure_reason})",
+                    None, None, None, None, None,
+                ])
+                continue
+            cells: List[object] = [r.fsm]
+            for method in TABLE2_METHODS:
+                size = r.sizes.get(method)
+                if size is None:
+                    cell_status = r.method_status.get(method)
+                    cells.append(
+                        cell_status.upper() if cell_status else None
+                    )
+                else:
+                    cells.append(size)
+                cells.append(r.time_ratio(method))
+            rows.append(cells)
         footer = [
             "total",
             self.total_size("nova_ih"), None,
@@ -83,7 +148,42 @@ class Table2Report:
             f"{ioh} ({100 * (ioh - new) / max(new, 1):+.1f}%) "
             f"(paper: NEW compares favorably to both)"
         )
+        if self.n_failed:
+            failed = ", ".join(
+                f"{r.fsm} ({r.failure_reason})"
+                for r in self.rows if not r.ok
+            )
+            summary += f"\n{self.n_failed} benchmark(s) failed: {failed}"
         return table + summary
+
+
+def _table2_row(
+    name: str, *, seed: int, timeout: Optional[float]
+) -> Table2Row:
+    """Compute one Table II row (runs inside the fault boundary)."""
+    faults.trip("table2.row", key=name)
+    fsm = load_benchmark(name)
+    # all methods see the identical input-encoding problem
+    cset = derive_face_constraints(fsm)
+    row = Table2Row(fsm=name)
+    for method in TABLE2_METHODS:
+        try:
+            result = assign_states(
+                fsm, method, seed=seed, constraints=cset,
+                budget=Budget(seconds=timeout),
+            )
+        except SolverTimeout:
+            row.sizes[method] = None
+            row.seconds[method] = None
+            row.method_status[method] = "timeout"
+        except BudgetExceeded:
+            row.sizes[method] = None
+            row.seconds[method] = None
+            row.method_status[method] = "budget"
+        else:
+            row.sizes[method] = result.size
+            row.seconds[method] = result.encode_seconds
+    return row
 
 
 def run_table2(
@@ -91,31 +191,54 @@ def run_table2(
     *,
     seed: int = 1,
     verbose: bool = False,
+    timeout: Optional[float] = None,
+    checkpoint: Optional[Union[str, pathlib.Path, Checkpoint]] = None,
 ) -> Table2Report:
-    """Regenerate Table II over the given FSM list (default: all rows)."""
+    """Regenerate Table II over the given FSM list (default: all rows).
+
+    ``timeout`` bounds each method's wall clock (a blown deadline
+    renders a ``TIMEOUT`` cell); ``checkpoint`` makes the run
+    resumable after a kill.
+    """
     if fsms is None:
         fsms = TABLE2_FSMS
+    ckpt: Optional[Checkpoint] = None
+    if checkpoint is not None:
+        ckpt = (
+            checkpoint if isinstance(checkpoint, Checkpoint)
+            else Checkpoint(checkpoint, experiment="table2")
+        )
     report = Table2Report()
     for name in fsms:
-        fsm = load_benchmark(name)
-        # all methods see the identical input-encoding problem
-        cset = derive_face_constraints(fsm)
-        sizes: Dict[str, int] = {}
-        seconds: Dict[str, float] = {}
-        for method in TABLE2_METHODS:
-            result = assign_states(
-                fsm, method, seed=seed, constraints=cset
-            )
-            sizes[method] = result.size
-            seconds[method] = result.encode_seconds
-        report.rows.append(
-            Table2Row(fsm=name, sizes=sizes, seconds=seconds)
+        if ckpt is not None and ckpt.is_done(name):
+            report.rows.append(Table2Row.from_dict(ckpt.get(name)))
+            if verbose:
+                print(f"{name}: resumed from checkpoint", flush=True)
+            continue
+        outcome = run_isolated(
+            _table2_row, name, seed=seed, timeout=timeout, label=name
         )
-        if verbose:
-            print(
-                f"{name}: " + " ".join(
-                    f"{m}={sizes[m]}" for m in TABLE2_METHODS
-                ),
-                flush=True,
+        if outcome.ok:
+            row = outcome.value
+        else:
+            row = Table2Row(
+                fsm=name, status=outcome.status, error=outcome.error
             )
+        report.rows.append(row)
+        if ckpt is not None and row.ok:
+            ckpt.mark_done(name, row.to_dict())
+        if verbose:
+            if row.ok:
+                print(
+                    f"{name}: " + " ".join(
+                        f"{m}={row.sizes.get(m)}"
+                        for m in TABLE2_METHODS
+                    ),
+                    flush=True,
+                )
+            else:
+                print(
+                    f"{name}: FAILED ({row.failure_reason})",
+                    flush=True,
+                )
     return report

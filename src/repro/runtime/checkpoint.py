@@ -1,0 +1,108 @@
+"""JSON checkpoint/resume for long experiment runs.
+
+A :class:`Checkpoint` is a small JSON file mapping completed unit keys
+(benchmark names, ``seed/fsm`` cells) to their serialized results.
+The harness marks each unit done as soon as it finishes, with an
+atomic write (temp file + ``os.replace``), so a killed run — crash,
+Ctrl-C, cluster preemption — restarts from the last completed
+benchmark instead of from scratch: ``picola table1 --resume run.ckpt``.
+
+The file carries an ``experiment`` tag; resuming a ``table2`` run from
+a ``table1`` checkpoint raises :class:`CheckpointError` rather than
+silently mixing result shapes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, List, Optional, Union
+
+from .errors import CheckpointError
+
+__all__ = ["Checkpoint"]
+
+_FORMAT = "repro-checkpoint-v1"
+
+
+class Checkpoint:
+    """Durable record of completed experiment units."""
+
+    def __init__(
+        self,
+        path: Union[str, pathlib.Path],
+        experiment: Optional[str] = None,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.experiment = experiment
+        self._completed: Dict[str, Any] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint {self.path}: {exc}"
+            ) from exc
+        if not isinstance(data, dict) or data.get("format") != _FORMAT:
+            raise CheckpointError(
+                f"{self.path} is not a {_FORMAT} file"
+            )
+        recorded = data.get("experiment")
+        if (
+            self.experiment is not None
+            and recorded is not None
+            and recorded != self.experiment
+        ):
+            raise CheckpointError(
+                f"{self.path} belongs to experiment {recorded!r}, "
+                f"not {self.experiment!r}"
+            )
+        if self.experiment is None:
+            self.experiment = recorded
+        completed = data.get("completed", {})
+        if not isinstance(completed, dict):
+            raise CheckpointError(f"{self.path}: bad 'completed' map")
+        self._completed = completed
+
+    # -- queries -------------------------------------------------------
+    @property
+    def completed(self) -> Dict[str, Any]:
+        return dict(self._completed)
+
+    def keys(self) -> List[str]:
+        return list(self._completed)
+
+    def is_done(self, key: str) -> bool:
+        return key in self._completed
+
+    def get(self, key: str) -> Any:
+        return self._completed[key]
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    # -- updates -------------------------------------------------------
+    def mark_done(self, key: str, payload: Any) -> None:
+        """Record one finished unit and flush atomically."""
+        self._completed[key] = payload
+        self._flush()
+
+    def clear(self) -> None:
+        self._completed.clear()
+        if self.path.exists():
+            self.path.unlink()
+
+    def _flush(self) -> None:
+        data = {
+            "format": _FORMAT,
+            "experiment": self.experiment,
+            "completed": self._completed,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps(data, indent=2, sort_keys=True))
+        os.replace(tmp, self.path)

@@ -1,0 +1,53 @@
+"""Structured error taxonomy for the reproduction.
+
+Every failure mode the harness knows how to degrade gracefully derives
+from :class:`ReproError`, so boundary code (the CLI, the per-benchmark
+isolation in :mod:`repro.harness`) can catch one base class instead of
+guessing which builtin a solver happened to raise.
+
+The concrete classes double-inherit from the builtin exception each
+condition historically raised (``ValueError`` for malformed input,
+``RuntimeError`` for exhausted budgets), so pre-existing call sites
+that catch the builtin keep working unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "InfeasibleError",
+    "BudgetExceeded",
+    "SolverTimeout",
+    "CheckpointError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every structured failure in this package."""
+
+
+class ParseError(ReproError, ValueError):
+    """Malformed input text (KISS2, PLA, cube strings, ...)."""
+
+
+class InfeasibleError(ReproError, ValueError):
+    """The requested problem has no solution (e.g. code length too
+    small to distinguish the symbols)."""
+
+
+class BudgetExceeded(ReproError, RuntimeError):
+    """A cooperative node/iteration budget ran out mid-search."""
+
+
+class SolverTimeout(BudgetExceeded):
+    """A wall-clock deadline expired mid-search.
+
+    Subclasses :class:`BudgetExceeded` because a deadline is just the
+    wall-clock flavour of a budget; callers that degrade on budget
+    exhaustion degrade identically on timeouts.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is unreadable or belongs to another experiment."""

@@ -1,0 +1,200 @@
+"""Deterministic fault injection for robustness tests.
+
+Solvers and harness drivers call :func:`trip` at named sites
+("exact.node", "enc.minimize", "table1.row", ...).  In normal runs the
+call is a no-op guarded by one module-level flag.  Tests (or an
+operator, via the ``REPRO_FAULTS`` environment variable) *arm* a fault
+at a site, optionally scoped to a key (e.g. one benchmark name) and to
+the N-th visit, and the next matching trip raises the armed exception
+— which proves the degradation path end to end without monkeypatching
+solver internals.
+
+Typical use::
+
+    from repro.runtime import SolverTimeout, faults
+
+    with faults.inject("enc.minimize", SolverTimeout):
+        report = run_table1(["lion9", "ex3"])   # one ENC cell times out
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Type, Union
+
+from .errors import BudgetExceeded, ParseError, ReproError, SolverTimeout
+
+__all__ = [
+    "arm",
+    "disarm",
+    "reset",
+    "trip",
+    "inject",
+    "install_from_env",
+    "active",
+]
+
+ExcSpec = Union[BaseException, Type[BaseException]]
+
+#: exception kinds accepted by the ``REPRO_FAULTS`` environment variable
+ENV_KINDS: Dict[str, Type[BaseException]] = {
+    "timeout": SolverTimeout,
+    "budget": BudgetExceeded,
+    "error": ReproError,
+}
+
+
+@dataclass
+class Fault:
+    """One armed fault; see :func:`arm` for the field semantics."""
+
+    site: str
+    exc: ExcSpec
+    key: Optional[str] = None
+    after: int = 1
+    times: Optional[int] = 1
+    hits: int = field(default=0, compare=False)
+    fired: int = field(default=0, compare=False)
+
+    def matches(self, key: Optional[str]) -> bool:
+        return self.key is None or self.key == key
+
+    def exhausted(self) -> bool:
+        return self.times is not None and self.fired >= self.times
+
+    def make(self) -> BaseException:
+        if isinstance(self.exc, BaseException):
+            return self.exc
+        return self.exc(f"injected fault at {self.site}")
+
+
+_registry: Dict[str, List[Fault]] = {}
+_enabled = False
+
+
+def arm(
+    site: str,
+    exc: ExcSpec,
+    *,
+    key: Optional[str] = None,
+    after: int = 1,
+    times: Optional[int] = 1,
+) -> Fault:
+    """Arm ``exc`` at ``site``.
+
+    ``key`` scopes the fault to trips carrying that key (a benchmark
+    name, usually); ``after`` fires it on the N-th matching trip;
+    ``times`` bounds how often it fires (``None`` = every time).
+    """
+    global _enabled
+    if after < 1:
+        raise ValueError("after must be >= 1")
+    fault = Fault(site=site, exc=exc, key=key, after=after, times=times)
+    _registry.setdefault(site, []).append(fault)
+    _enabled = True
+    return fault
+
+
+def disarm(fault: Fault) -> None:
+    """Remove one armed fault (missing faults are ignored)."""
+    global _enabled
+    faults = _registry.get(fault.site)
+    if faults and fault in faults:
+        faults.remove(fault)
+        if not faults:
+            del _registry[fault.site]
+    _enabled = bool(_registry)
+
+
+def reset() -> None:
+    """Disarm everything."""
+    global _enabled
+    _registry.clear()
+    _enabled = False
+
+
+def active() -> List[Fault]:
+    """All currently armed faults."""
+    return [f for faults in _registry.values() for f in faults]
+
+
+def trip(site: str, key: Optional[str] = None) -> None:
+    """Raise the armed fault for ``site``/``key``, if any.
+
+    Instrumented call sites invoke this at loop heads / entry points;
+    with nothing armed it is a single boolean test.
+    """
+    if not _enabled:
+        return
+    for fault in _registry.get(site, ()):
+        if not fault.matches(key) or fault.exhausted():
+            continue
+        fault.hits += 1
+        if fault.hits < fault.after:
+            continue
+        fault.fired += 1
+        raise fault.make()
+
+
+@contextmanager
+def inject(
+    site: str,
+    exc: ExcSpec,
+    *,
+    key: Optional[str] = None,
+    after: int = 1,
+    times: Optional[int] = 1,
+) -> Iterator[Fault]:
+    """Context manager: arm on entry, disarm on exit."""
+    fault = arm(site, exc, key=key, after=after, times=times)
+    try:
+        yield fault
+    finally:
+        disarm(fault)
+
+
+def install_from_env(var: str = "REPRO_FAULTS") -> List[Fault]:
+    """Arm faults described by an environment variable.
+
+    Format: comma-separated ``site[@key]=kind[:after]`` entries with
+    ``kind`` one of ``timeout`` / ``budget`` / ``error``, e.g.::
+
+        REPRO_FAULTS="table1.row@lion9=timeout" picola table1 --quick
+
+    Unset or empty means no-op.  Malformed entries raise
+    :class:`ParseError` (a ``ValueError``) so typos fail loudly — as
+    a one-line CLI diagnostic — rather than silently disabling the
+    injection.
+    """
+    spec = os.environ.get(var, "").strip()
+    if not spec:
+        return []
+    installed: List[Fault] = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        if "=" not in entry:
+            raise ParseError(f"bad fault spec {entry!r} in ${var}")
+        target, _, kind = entry.partition("=")
+        after = 1
+        if ":" in kind:
+            kind, _, after_text = kind.partition(":")
+            try:
+                after = int(after_text)
+            except ValueError:
+                raise ParseError(
+                    f"bad fault count {after_text!r} in ${var}"
+                ) from None
+        if kind not in ENV_KINDS:
+            raise ParseError(
+                f"bad fault kind {kind!r} in ${var}; "
+                f"choose from {sorted(ENV_KINDS)}"
+            )
+        site, _, key = target.partition("@")
+        installed.append(
+            arm(site, ENV_KINDS[kind], key=key or None, after=after)
+        )
+    return installed

@@ -32,6 +32,7 @@ from ..baselines import (
 )
 from ..core import PicolaOptions, picola_encode
 from ..encoding import ConstraintSet, Encoding, derive_face_constraints
+from ..runtime import Budget
 from ..espresso import EspressoStats, Pla, espresso_pla
 from ..fsm import Fsm, encode_fsm
 
@@ -93,9 +94,12 @@ def _encode(
     seed: int,
     picola_options: Optional[PicolaOptions],
     extra: Dict[str, object],
+    budget: Optional[Budget] = None,
 ) -> Encoding:
     if method == "picola":
-        result = picola_encode(cset, options=picola_options)
+        result = picola_encode(
+            cset, options=picola_options, budget=budget
+        )
         extra["satisfied"] = len(result.satisfied)
         extra["guided"] = len(result.infeasible)
         return result.encoding
@@ -107,7 +111,8 @@ def _encode(
         }[method]
         affinity = state_affinity(fsm) if variant == "io_hybrid" else None
         result = nova_encode(
-            cset, variant=variant, affinity=affinity, seed=seed
+            cset, variant=variant, affinity=affinity, seed=seed,
+            budget=budget,
         )
         extra["satisfied"] = result.satisfied
         return result.encoding
@@ -116,12 +121,12 @@ def _encode(
 
         result = mustang_encode(
             fsm, cset.min_code_length(),
-            variant=method[-1], seed=seed,
+            variant=method[-1], seed=seed, budget=budget,
         )
         extra["attraction"] = result.attraction
         return result.encoding
     if method == "enc":
-        result = enc_encode(cset, seed=seed)
+        result = enc_encode(cset, seed=seed, budget=budget)
         extra["converged"] = result.converged
         extra["minimizations"] = result.minimizations
         return result.encoding
@@ -144,6 +149,7 @@ def assign_states(
     minimize: bool = True,
     reduce: bool = False,
     sparse: bool = False,
+    budget: Optional[Budget] = None,
 ) -> AssignmentResult:
     """State-assign ``fsm`` and implement it in two levels.
 
@@ -152,7 +158,9 @@ def assign_states(
     see the identical input-encoding problem).  ``reduce=True`` runs
     completely-specified state minimization first (it raises on
     machines with don't-care behaviour); ``sparse=True`` adds the
-    MAKE_SPARSE literal-reduction pass after espresso.
+    MAKE_SPARSE literal-reduction pass after espresso.  ``budget`` is
+    a cooperative deadline/counter threaded through the encoder and
+    the espresso minimization.
     """
     if reduce:
         from ..fsm import reduce_states
@@ -166,7 +174,7 @@ def assign_states(
     extra: Dict[str, object] = {}
     t0 = time.perf_counter()
     encoding = _encode(
-        fsm, constraints, method, seed, picola_options, extra
+        fsm, constraints, method, seed, picola_options, extra, budget
     )
     encode_seconds = time.perf_counter() - t0
 
@@ -178,7 +186,9 @@ def assign_states(
     t0 = time.perf_counter()
     if minimize:
         stats = EspressoStats()
-        minimized = espresso_pla(pla, stats=stats, use_lastgasp=False)
+        minimized = espresso_pla(
+            pla, stats=stats, use_lastgasp=False, budget=budget
+        )
         extra["espresso_iterations"] = stats.iterations
         if sparse:
             from ..espresso import make_sparse

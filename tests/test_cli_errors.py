@@ -1,4 +1,10 @@
-"""CLI error handling and option coverage."""
+"""CLI error handling and option coverage.
+
+The ``main()`` boundary converts structured failures (``ReproError``,
+``OSError``) into a one-line stderr diagnostic and exit code 2 —
+users never see a raw traceback for a missing or malformed input
+file.
+"""
 
 import pytest
 
@@ -14,13 +20,30 @@ class TestCliErrors:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
-    def test_encode_missing_file(self):
-        with pytest.raises(FileNotFoundError):
-            main(["encode", "/nonexistent/machine.kiss2"])
+    def test_encode_missing_file(self, capsys):
+        assert main(["encode", "/nonexistent/machine.kiss2"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("picola: error:")
+        assert "machine.kiss2" in err
 
-    def test_analyze_missing_target(self):
-        with pytest.raises(FileNotFoundError):
-            main(["analyze", "/nonexistent/machine.kiss2"])
+    def test_analyze_missing_target(self, capsys):
+        assert main(["analyze", "/nonexistent/machine.kiss2"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("picola: error:")
+
+    def test_encode_malformed_kiss(self, tmp_path, capsys):
+        bad = tmp_path / "bad.kiss2"
+        bad.write_text(".i 2\n.o 1\nnot a kiss row\n.e\n")
+        assert main(["encode", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("picola: error:")
+        assert "\n" not in err.strip()  # one-line diagnostic
+
+    def test_encode_empty_kiss(self, tmp_path, capsys):
+        empty = tmp_path / "empty.kiss2"
+        empty.write_text(".i 1\n.o 1\n.e\n")
+        assert main(["encode", str(empty)]) == 2
+        assert "no transitions" in capsys.readouterr().err
 
     def test_encode_with_method(self, tmp_path, capsys):
         kiss = tmp_path / "m.kiss2"

@@ -1,14 +1,30 @@
 """Smoke tests: every example script must run cleanly end to end."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
-)
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def _example_env():
+    """Subprocess env with the repo's ``src/`` importable.
+
+    The example subprocesses don't inherit pytest's import path, so
+    prepend ``src/`` to ``PYTHONPATH`` explicitly — the examples must
+    run from a clean environment.
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + existing if existing else src
+    )
+    return env
 
 
 @pytest.mark.parametrize(
@@ -26,6 +42,7 @@ def test_example_runs(script, tmp_path):
         text=True,
         timeout=300,
         cwd=str(tmp_path),
+        env=_example_env(),
     )
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip(), "examples should print something"
