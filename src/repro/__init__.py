@@ -15,6 +15,10 @@ ENC-style baselines (:mod:`repro.baselines`), the state-assignment tool
 of the paper's Section 4 (:mod:`repro.stateassign`) and the experiment
 harness regenerating Tables I and II (:mod:`repro.harness`).
 
+Since 1.1.0 every encoder is also reachable through the unified
+solver registry (:mod:`repro.solvers`) and instrumented with the
+zero-dependency observability layer (:mod:`repro.obs`).
+
 Quickstart::
 
     from repro import FaceConstraint, picola_encode
@@ -24,6 +28,13 @@ Quickstart::
                    FaceConstraint({"s2", "s6", "s8"})]
     result = picola_encode(symbols, constraints)
     print(result.encoding.as_table())
+
+or, uniformly across solvers::
+
+    from repro import get_solver
+
+    result = get_solver("picola").solve(symbols, constraints)
+    print(result.encoding.as_table(), result.seconds, result.nodes)
 """
 
 from .core import PicolaOptions, PicolaResult, picola_encode
@@ -38,6 +49,20 @@ from .encoding import (
 )
 from .espresso import Pla, espresso, exact_minimize
 from .fsm import Fsm, load_benchmark, parse_kiss
+from .obs import (
+    ConsoleSink,
+    JsonlSink,
+    MemorySink,
+    NullTracer,
+    NULL_TRACER,
+    ProfileReport,
+    Span,
+    Tracer,
+    get_tracer,
+    profile_report,
+    resolve_tracer,
+    set_tracer,
+)
 from .runtime import (
     Budget,
     BudgetExceeded,
@@ -49,9 +74,16 @@ from .runtime import (
     ReproError,
     SolverTimeout,
 )
+from .solvers import (
+    EncodeResult,
+    Solver,
+    get_solver,
+    list_solvers,
+    register_solver,
+)
 from .stateassign import assign_states
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PicolaOptions",
@@ -72,6 +104,23 @@ __all__ = [
     "load_benchmark",
     "parse_kiss",
     "assign_states",
+    "EncodeResult",
+    "Solver",
+    "get_solver",
+    "list_solvers",
+    "register_solver",
+    "ConsoleSink",
+    "JsonlSink",
+    "MemorySink",
+    "NullTracer",
+    "NULL_TRACER",
+    "ProfileReport",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "profile_report",
+    "resolve_tracer",
+    "set_tracer",
     "Budget",
     "BudgetExceeded",
     "Checkpoint",

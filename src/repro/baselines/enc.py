@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from ..encoding.codes import Encoding
 from ..encoding.constraints import ConstraintSet
 from ..encoding.evaluate import cubes_for_constraint
+from ..obs import resolve_tracer
 from ..runtime import Budget, BudgetExceeded, faults
 from .simple import natural_encoding
 
@@ -74,6 +75,7 @@ def enc_encode(
     max_passes: int = 8,
     strict: bool = False,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> EncResult:
     """Iterative minimizer-in-the-loop encoding.
 
@@ -85,6 +87,7 @@ def enc_encode(
     :class:`~repro.runtime.BudgetExceeded` propagates so the harness
     can mark the cell as timed out rather than merely non-converged.
     """
+    tracer = resolve_tracer(tracer)
     symbols = list(cset.symbols)
     if nv is None:
         nv = cset.min_code_length()
@@ -92,52 +95,61 @@ def enc_encode(
     counter = [0]
     enc = natural_encoding(symbols, nv)
     codes: Dict[str, int] = dict(enc.codes)
+    passes = 0
 
     try:
-        best_total = _total_cubes(
-            enc, cset, counter, max_minimizations, budget
-        )
-        for _ in range(max_passes):
-            improved = False
-            # candidate moves: all pair swaps plus moves to free codes,
-            # in a seeded random order (ENC's pairwise interchange)
-            moves: List[Tuple[str, Optional[str], int]] = []
-            for i, a in enumerate(symbols):
-                for b in symbols[i + 1 :]:
-                    moves.append((a, b, -1))
-            used = set(codes.values())
-            for a in symbols:
-                for free in range(1 << nv):
-                    if free not in used:
-                        moves.append((a, None, free))
-            rng.shuffle(moves)
-            for a, b, free in moves:
-                old_a = codes[a]
-                old_b = codes[b] if b is not None else None
-                if b is not None:
-                    codes[a], codes[b] = old_b, old_a
-                else:
-                    if free in set(codes.values()):
-                        continue
-                    codes[a] = free
-                trial = Encoding(symbols, codes, nv)
-                total = _total_cubes(
-                    trial, cset, counter, max_minimizations, budget
-                )
-                if total < best_total:
-                    best_total = total
-                    improved = True
-                else:
-                    codes[a] = old_a
+        with tracer.span(
+            "enc/encode", symbols=len(symbols), nv=nv
+        ):
+            best_total = _total_cubes(
+                enc, cset, counter, max_minimizations, budget
+            )
+            for _ in range(max_passes):
+                passes += 1
+                improved = False
+                # candidate moves: all pair swaps plus moves to free
+                # codes, in a seeded random order (ENC's pairwise
+                # interchange)
+                moves: List[Tuple[str, Optional[str], int]] = []
+                for i, a in enumerate(symbols):
+                    for b in symbols[i + 1 :]:
+                        moves.append((a, b, -1))
+                used = set(codes.values())
+                for a in symbols:
+                    for free in range(1 << nv):
+                        if free not in used:
+                            moves.append((a, None, free))
+                rng.shuffle(moves)
+                for a, b, free in moves:
+                    old_a = codes[a]
+                    old_b = codes[b] if b is not None else None
                     if b is not None:
-                        codes[b] = old_b
-            if not improved:
-                break
+                        codes[a], codes[b] = old_b, old_a
+                    else:
+                        if free in set(codes.values()):
+                            continue
+                        codes[a] = free
+                    trial = Encoding(symbols, codes, nv)
+                    total = _total_cubes(
+                        trial, cset, counter, max_minimizations, budget
+                    )
+                    if total < best_total:
+                        best_total = total
+                        improved = True
+                    else:
+                        codes[a] = old_a
+                        if b is not None:
+                            codes[b] = old_b
+                if not improved:
+                    break
         converged = True
     except EncBudgetExceeded:
         if strict:
             raise
         converged = False
+    finally:
+        tracer.count("enc.minimizations", counter[0])
+        tracer.count("enc.passes", passes)
 
     final = Encoding(symbols, codes, nv)
     total = sum(

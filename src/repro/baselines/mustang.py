@@ -24,6 +24,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..encoding.codes import Encoding
 from ..fsm import Fsm
+from ..obs import resolve_tracer
 from ..runtime import Budget, InfeasibleError, faults
 from .nova import state_affinity
 
@@ -91,8 +92,10 @@ def mustang_encode(
     seed: int = 0,
     anneal_moves: int = 3000,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> MustangResult:
     """Adjacency-driven minimum-length encoding of the FSM's states."""
+    tracer = resolve_tracer(tracer)
     states = fsm.states
     if nv is None:
         nv = fsm.min_code_length()
@@ -101,68 +104,86 @@ def mustang_encode(
     weights = attraction_graph(fsm, variant)
     rng = random.Random(seed)
 
-    # greedy seed: place states in decreasing attraction-degree order,
-    # each on the free code closest to its already-placed attractors
-    degree: Dict[str, float] = {s: 0.0 for s in states}
-    for (a, b), w in weights.items():
-        degree[a] += w
-        degree[b] += w
-    order = sorted(states, key=lambda s: (-degree[s], s))
-    codes: Dict[str, int] = {}
-    free = set(range(1 << nv))
-    for s in order:
-        best_code = None
-        best_gain = None
-        for code in sorted(free):
-            gain = 0.0
-            for (a, b), w in weights.items():
-                other = None
-                if a == s and b in codes:
-                    other = codes[b]
-                elif b == s and a in codes:
-                    other = codes[a]
-                if other is None:
-                    continue
-                gain += w * (nv - bin(code ^ other).count("1"))
-            if best_gain is None or gain > best_gain:
-                best_gain = gain
-                best_code = code
-        codes[s] = best_code if best_code is not None else min(free)
-        free.discard(codes[s])
+    with tracer.span(
+        "mustang/encode", states=len(states), nv=nv, variant=variant
+    ):
+        # greedy seed: place states in decreasing attraction-degree
+        # order, each on the free code closest to its already-placed
+        # attractors
+        degree: Dict[str, float] = {s: 0.0 for s in states}
+        for (a, b), w in weights.items():
+            degree[a] += w
+            degree[b] += w
+        order = sorted(states, key=lambda s: (-degree[s], s))
+        codes: Dict[str, int] = {}
+        free = set(range(1 << nv))
+        with tracer.span("mustang/greedy"):
+            for s in order:
+                best_code = None
+                best_gain = None
+                for code in sorted(free):
+                    gain = 0.0
+                    for (a, b), w in weights.items():
+                        other = None
+                        if a == s and b in codes:
+                            other = codes[b]
+                        elif b == s and a in codes:
+                            other = codes[a]
+                        if other is None:
+                            continue
+                        gain += w * (
+                            nv - bin(code ^ other).count("1")
+                        )
+                    if best_gain is None or gain > best_gain:
+                        best_gain = gain
+                        best_code = code
+                codes[s] = (
+                    best_code if best_code is not None else min(free)
+                )
+                free.discard(codes[s])
 
-    # annealing polish on pairwise swaps
-    current = _adjacency_score(codes, weights, nv)
-    best = dict(codes)
-    best_score = current
-    temperature = max(1.0, current / 10 + 1)
-    all_codes = list(range(1 << nv))
-    for _ in range(anneal_moves):
-        faults.trip("mustang.move")
-        if budget is not None:
-            budget.tick(where="mustang_encode")
-        s = states[rng.randrange(len(states))]
-        target = all_codes[rng.randrange(len(all_codes))]
-        owner = next(
-            (t for t in states if codes[t] == target), None
-        )
-        if owner is s:
-            continue
-        old = codes[s]
-        codes[s] = target
-        if owner is not None:
-            codes[owner] = old
-        candidate = _adjacency_score(codes, weights, nv)
-        delta = candidate - current
-        if delta >= 0 or rng.random() < math.exp(delta / temperature):
-            current = candidate
-            if current > best_score:
-                best_score = current
-                best = dict(codes)
-        else:
-            codes[s] = old
-            if owner is not None:
-                codes[owner] = target
-        temperature = max(temperature * 0.996, 0.05)
+        # annealing polish on pairwise swaps
+        current = _adjacency_score(codes, weights, nv)
+        best = dict(codes)
+        best_score = current
+        temperature = max(1.0, current / 10 + 1)
+        all_codes = list(range(1 << nv))
+        attempted = 0
+        with tracer.span("mustang/anneal", moves=anneal_moves):
+            try:
+                for _ in range(anneal_moves):
+                    faults.trip("mustang.move")
+                    if budget is not None:
+                        budget.tick(where="mustang_encode")
+                    attempted += 1
+                    s = states[rng.randrange(len(states))]
+                    target = all_codes[rng.randrange(len(all_codes))]
+                    owner = next(
+                        (t for t in states if codes[t] == target), None
+                    )
+                    if owner is s:
+                        continue
+                    old = codes[s]
+                    codes[s] = target
+                    if owner is not None:
+                        codes[owner] = old
+                    candidate = _adjacency_score(codes, weights, nv)
+                    delta = candidate - current
+                    if delta >= 0 or rng.random() < math.exp(
+                        delta / temperature
+                    ):
+                        current = candidate
+                        if current > best_score:
+                            best_score = current
+                            best = dict(codes)
+                    else:
+                        codes[s] = old
+                        if owner is not None:
+                            codes[owner] = target
+                    temperature = max(temperature * 0.996, 0.05)
+            finally:
+                tracer.count("mustang.moves", attempted)
+                tracer.gauge("mustang.attraction", best_score)
 
     encoding = Encoding(states, best, nv)
     return MustangResult(

@@ -22,12 +22,14 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..encoding.codes import Encoding, face_of
 from ..encoding.constraints import ConstraintSet, FaceConstraint
+from ..obs import resolve_tracer
 from ..runtime import Budget, InfeasibleError, faults
 
 __all__ = ["NovaResult", "nova_encode", "state_affinity"]
@@ -43,19 +45,36 @@ class NovaResult:
 
 def nova_encode(
     cset: ConstraintSet,
+    *args: int,
     nv: Optional[int] = None,
-    *,
     variant: str = "i_hybrid",
     affinity: Optional[Mapping[Tuple[str, str], float]] = None,
     seed: int = 0,
     anneal_moves: int = 4000,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> NovaResult:
-    """Encode with the NOVA-style objective; deterministic per seed."""
+    """Encode with the NOVA-style objective; deterministic per seed.
+
+    Passing ``nv`` positionally is deprecated — the uniform
+    :mod:`repro.solvers` signature takes it via ``options``.
+    """
+    if args:
+        if len(args) > 1 or nv is not None:
+            raise TypeError("nova_encode takes at most one nv")
+        warnings.warn(
+            "passing nv positionally to nova_encode is deprecated; "
+            "use nova_encode(cset, nv=...) or "
+            "get_solver('nova').solve(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        nv = args[0]
     if variant not in ("i_greedy", "i_hybrid", "io_hybrid"):
         raise ValueError(f"unknown NOVA variant {variant!r}")
     if variant == "io_hybrid" and affinity is None:
         affinity = {}
+    tracer = resolve_tracer(tracer)
     symbols = list(cset.symbols)
     if nv is None:
         nv = cset.min_code_length()
@@ -64,13 +83,18 @@ def nova_encode(
     rng = random.Random(seed)
     constraints = cset.nontrivial()
 
-    codes = _greedy_placement(symbols, constraints, nv, rng)
-    if variant != "i_greedy":
-        codes = _anneal(
-            symbols, constraints, codes, nv, rng,
-            affinity if variant == "io_hybrid" else None,
-            anneal_moves, budget,
-        )
+    with tracer.span(
+        "nova/encode", symbols=len(symbols), nv=nv, variant=variant
+    ):
+        with tracer.span("nova/greedy"):
+            codes = _greedy_placement(symbols, constraints, nv, rng)
+        if variant != "i_greedy":
+            with tracer.span("nova/anneal", moves=anneal_moves):
+                codes = _anneal(
+                    symbols, constraints, codes, nv, rng,
+                    affinity if variant == "io_hybrid" else None,
+                    anneal_moves, budget, tracer,
+                )
     enc = Encoding(symbols, codes, nv)
     sat = sum(1 for c in constraints if enc.satisfies(c.symbols))
     return NovaResult(
@@ -208,7 +232,9 @@ def _anneal(
     affinity: Optional[Mapping[Tuple[str, str], float]],
     moves: int,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> Dict[str, int]:
+    tracer = resolve_tracer(tracer)
     codes = dict(codes)
     current = _objective(symbols, constraints, codes, nv, affinity)
     best = dict(codes)
@@ -217,35 +243,48 @@ def _anneal(
     all_codes = list(range(1 << nv))
     temperature = max(1.0, len(constraints) / 4.0)
     cooling = 0.995 if moves else 1.0
-    for _ in range(moves):
-        faults.trip("nova.move")
-        if budget is not None:
-            budget.tick(where="nova_encode")
-        s = symbols[rng.randrange(n)]
-        target = all_codes[rng.randrange(len(all_codes))]
-        owner = None
-        for t in symbols:
-            if codes[t] == target:
-                owner = t
-                break
-        old_s = codes[s]
-        if owner is s:
-            continue
-        codes[s] = target
-        if owner is not None:
-            codes[owner] = old_s
-        candidate = _objective(symbols, constraints, codes, nv, affinity)
-        delta = candidate - current
-        if delta >= 0 or rng.random() < math.exp(delta / temperature):
-            current = candidate
-            if current > best_obj:
-                best_obj = current
-                best = dict(codes)
-        else:
-            codes[s] = old_s
+    attempted = 0
+    accepted = 0
+    try:
+        for _ in range(moves):
+            faults.trip("nova.move")
+            if budget is not None:
+                budget.tick(where="nova_encode")
+            attempted += 1
+            s = symbols[rng.randrange(n)]
+            target = all_codes[rng.randrange(len(all_codes))]
+            owner = None
+            for t in symbols:
+                if codes[t] == target:
+                    owner = t
+                    break
+            old_s = codes[s]
+            if owner is s:
+                continue
+            codes[s] = target
             if owner is not None:
-                codes[owner] = target
-        temperature = max(temperature * cooling, 0.05)
+                codes[owner] = old_s
+            candidate = _objective(
+                symbols, constraints, codes, nv, affinity
+            )
+            delta = candidate - current
+            if delta >= 0 or rng.random() < math.exp(
+                delta / temperature
+            ):
+                accepted += 1
+                current = candidate
+                if current > best_obj:
+                    best_obj = current
+                    best = dict(codes)
+            else:
+                codes[s] = old_s
+                if owner is not None:
+                    codes[owner] = target
+            temperature = max(temperature * cooling, 0.05)
+    finally:
+        tracer.count("nova.moves", attempted)
+        tracer.count("nova.accepted", accepted)
+        tracer.gauge("nova.objective", best_obj)
     return best
 
 

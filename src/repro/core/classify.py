@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from ..encoding.matrix import ConstraintMatrix, ConstraintRow
+from ..obs import resolve_tracer
 
 __all__ = ["classify", "nv_compatible", "capacity_feasible"]
 
@@ -149,6 +150,7 @@ def capacity_feasible(
 
 def classify(
     matrix: ConstraintMatrix,
+    tracer=None,
 ) -> List[ConstraintRow]:
     """Mark newly infeasible rows; return them (guides not yet added).
 
@@ -156,11 +158,17 @@ def classify(
     of the code space, and every active constraint that is not
     nv-compatible with it — or that fails the capacity test on its
     own — can never be satisfied and should be guided instead.
+
+    ``tracer`` (default: the module-level tracer) counts calls,
+    pairwise compatibility checks and newly infeasible rows.
     """
+    tracer = resolve_tracer(tracer)
+    tracer.count("classify.calls")
     nv = matrix.nv
     n = len(matrix.symbols)
     satisfied = [r for r in matrix.active_rows() if r.satisfied()]
     newly_infeasible: List[ConstraintRow] = []
+    pairs_checked = 0
     for row in matrix.active_rows():
         if row.satisfied():
             continue
@@ -171,8 +179,13 @@ def classify(
         for done in satisfied:
             if done is row:
                 continue
+            pairs_checked += 1
             if not nv_compatible(row, done, nv, n):
                 row.infeasible = True
                 newly_infeasible.append(row)
                 break
+    if pairs_checked:
+        tracer.count("classify.pairs_checked", pairs_checked)
+    if newly_infeasible:
+        tracer.count("classify.infeasible", len(newly_infeasible))
     return newly_infeasible

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..encoding.codes import Encoding
 from ..encoding.constraints import ConstraintSet, FaceConstraint
 from ..encoding.matrix import ConstraintMatrix, ConstraintRow
+from ..obs import resolve_tracer
 from ..runtime import Budget, InfeasibleError, faults
 from .classify import classify
 from .guides import guide_constraint
@@ -138,7 +139,7 @@ class PicolaResult:
 
 
 def _update_constraints(
-    state: _BeamState, options: PicolaOptions
+    state: _BeamState, options: PicolaOptions, tracer=None
 ) -> None:
     """The paper's Update_constraints(): Classify + add guides.
 
@@ -147,7 +148,8 @@ def _update_constraints(
     nothing); it is re-visited every column until the intruders form a
     set worth guiding.
     """
-    classify(state.matrix)
+    tracer = resolve_tracer(tracer)
+    classify(state.matrix, tracer=tracer)
     if not options.use_guides:
         return
     for row in state.matrix.rows:
@@ -161,6 +163,10 @@ def _update_constraints(
             row.guide_added = True
             state.matrix.add_constraint(guide)
             state.guides_added.append(guide)
+            tracer.count("picola.guides_added")
+            tracer.gauge(
+                "picola.intruder_set", len(row.intruders())
+            )
 
 
 def picola_encode(
@@ -170,6 +176,7 @@ def picola_encode(
     nv: Optional[int] = None,
     options: Optional[PicolaOptions] = None,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> PicolaResult:
     """Encode symbols under face constraints with minimum code length.
 
@@ -178,8 +185,11 @@ def picola_encode(
     — the minimum length; larger values are allowed (the algorithm
     generalizes) but the paper's problem is the minimum one.
     ``budget`` is a cooperative :class:`~repro.runtime.Budget` checked
-    once per column per beam state.
+    once per column per beam state; ``tracer`` is an optional
+    :class:`~repro.obs.Tracer` (default: the module-level tracer)
+    recording spans and counters at the same loop heads.
     """
+    tracer = resolve_tracer(tracer)
     if isinstance(symbols_or_set, ConstraintSet):
         cset = symbols_or_set
         if constraints is not None:
@@ -210,60 +220,73 @@ def picola_encode(
         )
     ]
     classified_once = False
-    for j in range(nv):
-        faults.trip("picola.column")
-        children: List[Tuple[float, int, _BeamState]] = []
-        for state in beam:
-            if budget is not None:
-                budget.tick(where="picola_encode")
-            if options.dynamic_classify or not classified_once:
-                _update_constraints(state, options)
-            candidates = candidate_columns(
-                state.matrix, state.groups, policy,
-                limit=options.beam_candidates,
-            )
-            for column in candidates:
-                child = state.clone()
-                child.matrix.record_column(column)
-                child.groups.apply_column(column)
-                child.columns.append(column)
-                children.append(
-                    (child.score(policy), len(children), child)
-                )
-        classified_once = True
-        children.sort(key=lambda item: (-item[0], item[1]))
-        beam = [child for _, _, child in children[: options.beam_width]]
+    run_span = tracer.span(
+        "picola/encode", symbols=cset.n_symbols, nv=nv
+    )
+    with run_span:
+        for j in range(nv):
+            faults.trip("picola.column")
+            children: List[Tuple[float, int, _BeamState]] = []
+            with tracer.span("picola/column", col=j):
+                tracer.count("picola.columns")
+                for state in beam:
+                    if budget is not None:
+                        budget.tick(where="picola_encode")
+                    tracer.count("picola.beam_states")
+                    if options.dynamic_classify or not classified_once:
+                        _update_constraints(state, options, tracer)
+                    candidates = candidate_columns(
+                        state.matrix, state.groups, policy,
+                        limit=options.beam_candidates,
+                        tracer=tracer,
+                    )
+                    for column in candidates:
+                        child = state.clone()
+                        child.matrix.record_column(column)
+                        child.groups.apply_column(column)
+                        child.columns.append(column)
+                        children.append(
+                            (child.score(policy), len(children), child)
+                        )
+                tracer.count("picola.beam_children", len(children))
+            classified_once = True
+            children.sort(key=lambda item: (-item[0], item[1]))
+            beam = [
+                child for _, _, child in children[: options.beam_width]
+            ]
 
-    best = beam[0]
-    if options.dynamic_classify:
-        for state in beam:
-            _update_constraints(state, options)  # final classification
-    encoding = Encoding.from_columns(list(cset.symbols), best.columns)
-    matrix = best.matrix
-    if options.final_repair:
-        from .repair import polish_encoding, satisfaction_cost_score
+        best = beam[0]
+        if options.dynamic_classify:
+            for state in beam:
+                # final classification
+                _update_constraints(state, options, tracer)
+        encoding = Encoding.from_columns(list(cset.symbols), best.columns)
+        matrix = best.matrix
+        if options.final_repair:
+            from .repair import polish_encoding, satisfaction_cost_score
 
-        # polish the strongest beam leaves and keep the best repaired
-        # encoding by the satisfaction/cost objective
-        best_score = None
-        best_pair = None
-        for state in beam[: min(3, len(beam))]:
-            candidate = Encoding.from_columns(
-                list(cset.symbols), state.columns
-            )
-            polished = polish_encoding(candidate, cset, policy)
-            score = satisfaction_cost_score(polished, cset)
-            if best_score is None or score > best_score:
-                best_score = score
-                best_pair = (polished, state)
-        assert best_pair is not None
-        polished, leaf = best_pair
-        if polished.codes != encoding.codes:
-            best = leaf
-            encoding = polished
-            matrix = _replay_matrix(
-                cset, leaf.guides_added, encoding, nv, options
-            )
+            # polish the strongest beam leaves and keep the best
+            # repaired encoding by the satisfaction/cost objective
+            with tracer.span("picola/repair"):
+                best_score = None
+                best_pair = None
+                for state in beam[: min(3, len(beam))]:
+                    candidate = Encoding.from_columns(
+                        list(cset.symbols), state.columns
+                    )
+                    polished = polish_encoding(candidate, cset, policy)
+                    score = satisfaction_cost_score(polished, cset)
+                    if best_score is None or score > best_score:
+                        best_score = score
+                        best_pair = (polished, state)
+                assert best_pair is not None
+                polished, leaf = best_pair
+                if polished.codes != encoding.codes:
+                    best = leaf
+                    encoding = polished
+                    matrix = _replay_matrix(
+                        cset, leaf.guides_added, encoding, nv, options
+                    )
     if not encoding.is_injective():
         raise AssertionError(
             "PICOLA produced a non-injective encoding; the validity "

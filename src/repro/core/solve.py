@@ -27,6 +27,7 @@ import random
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..encoding.matrix import ConstraintMatrix, ConstraintRow
+from ..obs import resolve_tracer
 from .weights import WeightPolicy
 
 __all__ = ["generate_column", "PrefixGroups"]
@@ -287,34 +288,48 @@ def candidate_columns(
     groups: PrefixGroups,
     policy: Optional[WeightPolicy] = None,
     limit: int = 1,
+    tracer=None,
 ) -> List[Dict[str, int]]:
     """Up to ``limit`` distinct high-scoring columns, best first.
 
     One candidate comes from the deterministic greedy construction,
     the rest from seeded random restarts; all are polished by the
-    hill climber.  Does not mutate ``matrix``/``groups``.
+    hill climber.  Does not mutate ``matrix``/``groups``.  ``tracer``
+    (default: the module-level tracer) counts restarts and the seed
+    dichotomies the winning column satisfies.
     """
     if policy is None:
         policy = WeightPolicy()
+    tracer = resolve_tracer(tracer)
     remaining_after = groups.nv - groups.columns_done - 1
     beta = policy.future_discount * remaining_after / max(1, groups.nv)
 
-    def build(seed: Optional[int]) -> Tuple[float, Dict[str, int]]:
+    def build(
+        seed: Optional[int],
+    ) -> Tuple[float, Dict[str, int], _ColumnBuilder]:
         builder = _ColumnBuilder(matrix, groups, policy, beta)
         if seed is None:
             builder.make_valid()
         else:
             builder.randomize(random.Random(seed))
         builder.hill_climb()
-        return builder.total_score(), dict(builder.column)
+        return builder.total_score(), dict(builder.column), builder
 
-    scored: List[Tuple[float, Dict[str, int]]] = [build(None)]
+    scored: List[Tuple[float, Dict[str, int], _ColumnBuilder]] = [
+        build(None)
+    ]
     for r in range(policy.restarts):
         scored.append(build(1009 * (groups.columns_done + 1) + r))
+    tracer.count("solve.restarts", policy.restarts)
     scored.sort(key=lambda pair: -pair[0])
+    if scored:
+        tracer.count(
+            "solve.dichotomies_satisfied",
+            sum(st.newly_satisfied() for st in scored[0][2].states),
+        )
     result: List[Dict[str, int]] = []
     seen = set()
-    for score, column in scored:
+    for score, column, _builder in scored:
         key = tuple(column[s] for s in groups.symbols)
         # a column and its complement induce the same partition
         flipped = tuple(1 - b for b in key)

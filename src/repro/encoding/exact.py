@@ -22,9 +22,11 @@ symmetries dramatically without losing optimality.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs import resolve_tracer
 from ..runtime import (
     Budget,
     BudgetExceeded,
@@ -76,11 +78,12 @@ def _constraint_possible(
 
 def exact_encode(
     cset: ConstraintSet,
+    *args: int,
     nv: Optional[int] = None,
-    *,
     max_nodes: int = 2_000_000,
     strict: bool = False,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> ExactEncodingResult:
     """Provably maximize weighted satisfied constraints at length nv.
 
@@ -89,8 +92,24 @@ def exact_encode(
     returned with ``optimal=False``.  An external :class:`Budget`
     (wall-clock deadline and/or shared node counter) is checked at
     every search node; in non-strict mode its exhaustion also degrades
-    to best-so-far once a complete assignment exists.
+    to best-so-far once a complete assignment exists.  ``tracer``
+    records a ``exact/search`` span and the node count.
+
+    Passing ``nv`` positionally is deprecated — the uniform
+    :mod:`repro.solvers` signature takes it via ``options``.
     """
+    if args:
+        if len(args) > 1 or nv is not None:
+            raise TypeError("exact_encode takes at most one nv")
+        warnings.warn(
+            "passing nv positionally to exact_encode is deprecated; "
+            "use exact_encode(cset, nv=...) or "
+            "get_solver('exact').solve(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        nv = args[0]
+    tracer = resolve_tracer(tracer)
     symbols = list(cset.symbols)
     n = len(symbols)
     if nv is None:
@@ -182,7 +201,14 @@ def exact_encode(
         return
 
     try:
-        search(0)
+        with tracer.span(
+            "exact/search", symbols=n, nv=nv, max_nodes=max_nodes
+        ):
+            try:
+                search(0)
+            finally:
+                tracer.count("exact.nodes", nodes)
+                tracer.gauge("exact.best_weight", best_weight)
     except (SolverTimeout, BudgetExceeded):
         # external budget/deadline: degrade to best-so-far unless the
         # caller demanded a provably optimal answer

@@ -60,7 +60,7 @@ def _all_satisfiable(cset: ConstraintSet, nv: int) -> bool:
         return True
     if cset.n_symbols <= _EXACT_LIMIT:
         try:
-            result = exact_encode(cset, nv, max_nodes=300_000)
+            result = exact_encode(cset, nv=nv, max_nodes=300_000)
             if result.optimal:
                 return result.satisfied == k
         except ExactSearchBudget:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Set, Tuple
 
 from ..cubes import Space, contains
+from ..obs import resolve_tracer
 
 __all__ = ["expand", "expand_cube"]
 
@@ -97,13 +98,16 @@ def expand(
     space: Space,
     onset: List[int],
     off: Sequence[int],
+    tracer=None,
 ) -> List[int]:
     """Expand every cube of ``onset``; drop cubes covered along the way.
 
     Cubes are processed smallest-first (ascending weight), the standard
     ESPRESSO order: small cubes benefit most from expansion and their
-    primes tend to cover the larger ones.
+    primes tend to cover the larger ones.  ``tracer`` counts the cubes
+    this pass visits (``espresso.expand.cubes``).
     """
+    resolve_tracer(tracer).count("espresso.expand.cubes", len(onset))
     order = sorted(range(len(onset)), key=lambda i: bin(onset[i]).count("1"))
     covered = [False] * len(onset)
     result: List[int] = []

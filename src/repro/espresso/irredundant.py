@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from ..cubes import Space, cover_contains_cube
+from ..obs import resolve_tracer
 
 __all__ = ["irredundant", "relatively_essential"]
 
@@ -36,11 +37,16 @@ def irredundant(
     space: Space,
     onset: List[int],
     dcset: Sequence[int] = (),
+    tracer=None,
 ) -> List[int]:
     """A subset of ``onset`` with the same coverage and no redundant cube.
 
     Smallest redundant cubes are dropped first so large primes survive.
+    ``tracer`` counts the cubes visited (``espresso.irredundant.cubes``).
     """
+    resolve_tracer(tracer).count(
+        "espresso.irredundant.cubes", len(onset)
+    )
     keep = sorted(onset, key=lambda c: bin(c).count("1"))
     i = 0
     while i < len(keep):

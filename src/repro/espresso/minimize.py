@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..cubes import Space, absorb, complement, contains, cover_contains_cube
+from ..obs import resolve_tracer
 from ..runtime import Budget, faults
 from .expand import expand, expand_cube
 from .irredundant import irredundant, relatively_essential
@@ -62,61 +63,75 @@ def espresso(
     max_iterations: int = 20,
     stats: Optional[EspressoStats] = None,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> List[int]:
     """Heuristically minimize ``onset`` with don't-cares ``dcset``.
 
     Returns a new cover with the same coverage over the care set,
     typically with (near-)minimal cube count.  ``budget`` is a
     cooperative deadline/counter checked once per improvement
-    iteration (the passes themselves are not interrupted).
+    iteration (the passes themselves are not interrupted); ``tracer``
+    (default: the module-level tracer) records an
+    ``espresso/minimize`` span, per-iteration counters and
+    cubes-after-pass gauges at the same seam.
     """
     if stats is None:
         stats = EspressoStats()
+    tracer = resolve_tracer(tracer)
     dc = list(dcset)
     cover = absorb(list(onset))
     stats.initial_terms = len(cover)
     if not cover:
         stats.final_terms = 0
         return []
-    off = complement(space, cover + dc)
+    with tracer.span(
+        "espresso/minimize", terms=len(cover), width=space.width
+    ):
+        off = complement(space, cover + dc)
 
-    cover = expand(space, cover, off)
-    cover = irredundant(space, cover, dc)
+        cover = expand(space, cover, off, tracer=tracer)
+        cover = irredundant(space, cover, dc, tracer=tracer)
 
-    essentials: List[int] = []
-    if use_essentials:
-        essentials, rest = relatively_essential(space, cover, dc)
-        # keep the truly load-bearing primes fixed; they act as extra
-        # don't-cares for the rest of the optimization
-        if essentials and rest:
-            cover = rest
-            dc = dc + essentials
-        else:
-            essentials = []
-    stats.essential_terms = len(essentials)
+        essentials: List[int] = []
+        if use_essentials:
+            essentials, rest = relatively_essential(space, cover, dc)
+            # keep the truly load-bearing primes fixed; they act as
+            # extra don't-cares for the rest of the optimization
+            if essentials and rest:
+                cover = rest
+                dc = dc + essentials
+            else:
+                essentials = []
+        stats.essential_terms = len(essentials)
 
-    best = cover_cost(space, cover)
-    while stats.iterations < max_iterations:
-        faults.trip("espresso.iteration")
-        if budget is not None:
-            budget.tick(where="espresso")
-        stats.iterations += 1
-        cover = reduce_cover(space, cover, dc)
-        cover = expand(space, cover, off)
-        cover = irredundant(space, cover, dc)
-        cost = cover_cost(space, cover)
-        if cost >= best:
-            break
-        best = cost
+        best = cover_cost(space, cover)
+        while stats.iterations < max_iterations:
+            faults.trip("espresso.iteration")
+            if budget is not None:
+                budget.tick(where="espresso")
+            tracer.count("espresso.iterations")
+            stats.iterations += 1
+            cover = reduce_cover(space, cover, dc, tracer=tracer)
+            cover = expand(space, cover, off, tracer=tracer)
+            tracer.gauge("espresso.cubes_after_expand", len(cover))
+            cover = irredundant(space, cover, dc, tracer=tracer)
+            tracer.gauge(
+                "espresso.cubes_after_irredundant", len(cover)
+            )
+            cost = cover_cost(space, cover)
+            if cost >= best:
+                break
+            best = cost
 
-    if use_lastgasp:
-        improved = _lastgasp(space, cover, dc, off)
-        if improved is not None:
-            cover = improved
-            stats.lastgasp_improved = True
+        if use_lastgasp:
+            with tracer.span("espresso/lastgasp"):
+                improved = _lastgasp(space, cover, dc, off)
+            if improved is not None:
+                cover = improved
+                stats.lastgasp_improved = True
 
-    cover = essentials + cover
-    cover = irredundant(space, cover, list(dcset))
+        cover = essentials + cover
+        cover = irredundant(space, cover, list(dcset), tracer=tracer)
     stats.final_terms = len(cover)
     return cover
 

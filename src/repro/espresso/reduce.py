@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from ..cubes import Space, complement, supercube
+from ..obs import resolve_tracer
 
 __all__ = ["reduce_cover", "reduce_cube"]
 
@@ -51,6 +52,7 @@ def reduce_cover(
     space: Space,
     onset: List[int],
     dcset: Sequence[int] = (),
+    tracer=None,
 ) -> List[int]:
     """Reduce every cube in place against the current partial result.
 
@@ -58,7 +60,9 @@ def reduce_cover(
     big primes first gives the small ones the most freedom afterwards.
     Reduction is *sequential* — each reduction sees the already-reduced
     versions of earlier cubes — which preserves the cover's coverage.
+    ``tracer`` counts the cubes visited (``espresso.reduce.cubes``).
     """
+    resolve_tracer(tracer).count("espresso.reduce.cubes", len(onset))
     order = sorted(
         range(len(onset)),
         key=lambda i: bin(onset[i]).count("1"),

@@ -23,12 +23,12 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Union
 
-from ..core import PicolaOptions, picola_encode
+from ..core import PicolaOptions
 from ..encoding import derive_face_constraints, evaluate_encoding
-from ..encoding.exact import exact_encode
 from ..fsm import load_benchmark
 from ..runtime import Budget, BudgetExceeded, Checkpoint, SolverTimeout, faults
 from ..runtime.isolation import run_isolated
+from ..solvers import get_solver
 from .report import render_table
 from .table1 import QUICK_FSMS
 
@@ -57,6 +57,14 @@ class AblationReport:
     satisfied: Dict[str, Dict[str, Optional[int]]] = field(
         default_factory=dict
     )
+    #: per-cell wall clock of the encode step, fsm -> variant -> s
+    seconds: Dict[str, Dict[str, Optional[float]]] = field(
+        default_factory=dict
+    )
+    #: per-cell solver work, fsm -> variant -> nodes
+    nodes: Dict[str, Dict[str, Optional[int]]] = field(
+        default_factory=dict
+    )
     #: per-cell degradation reasons, fsm -> variant -> reason
     cell_status: Dict[str, Dict[str, str]] = field(default_factory=dict)
     #: whole-FSM failures, fsm -> reason
@@ -73,7 +81,9 @@ class AblationReport:
             if self.cubes[f].get(variant) is not None
         )
 
-    def render(self) -> str:
+    def render(self, profile: bool = False) -> str:
+        """Text table; ``profile=True`` appends per-variant seconds
+        and solver-work (nodes) tables."""
         headers = ["FSM"] + list(self.variants)
         rows = []
         for fsm in self.cubes:
@@ -98,6 +108,21 @@ class AblationReport:
                   "per PICOLA variant",
             footer=footer,
         )
+        if profile:
+            for title, grid in (
+                ("Ablation - encode seconds per variant",
+                 self.seconds),
+                ("Ablation - solver work (nodes) per variant",
+                 self.nodes),
+            ):
+                prof_rows = [
+                    [fsm] + [grid.get(fsm, {}).get(v)
+                             for v in self.variants]
+                    for fsm in self.cubes
+                ]
+                table += "\n\n" + render_table(
+                    headers, prof_rows, title=title
+                )
         if self.failures:
             failed = ", ".join(
                 f"{fsm} ({reason})"
@@ -120,34 +145,40 @@ def _ablation_cells(
     cset = derive_face_constraints(fsm)
     cells: Dict[str, Dict[str, Any]] = {
         "cubes": {}, "satisfied": {}, "status": {},
+        "seconds": {}, "nodes": {},
     }
     for variant in variants:
+        if variant == EXACT_VARIANT:
+            solver = get_solver("exact")
+            options: Dict[str, Any] = {"strict": True}
+            budget = Budget(max_nodes=exact_nodes, seconds=timeout)
+        else:
+            solver = get_solver("picola")
+            options = {
+                "picola_options": ABLATION_VARIANTS[variant],
+            }
+            budget = Budget(seconds=timeout)
         try:
-            if variant == EXACT_VARIANT:
-                result = exact_encode(
-                    cset, strict=True,
-                    budget=Budget(
-                        max_nodes=exact_nodes, seconds=timeout
-                    ),
-                )
-            else:
-                result = picola_encode(
-                    cset, options=ABLATION_VARIANTS[variant],
-                    budget=Budget(seconds=timeout),
-                )
+            result = solver.solve(cset, options=options, budget=budget)
         except SolverTimeout:
             cells["cubes"][variant] = None
             cells["satisfied"][variant] = None
+            cells["seconds"][variant] = None
+            cells["nodes"][variant] = None
             cells["status"][variant] = "timeout"
             continue
         except BudgetExceeded:
             cells["cubes"][variant] = None
             cells["satisfied"][variant] = None
+            cells["seconds"][variant] = None
+            cells["nodes"][variant] = None
             cells["status"][variant] = "budget"
             continue
         evaluation = evaluate_encoding(result.encoding, cset)
         cells["cubes"][variant] = evaluation.total_cubes
         cells["satisfied"][variant] = evaluation.n_satisfied
+        cells["seconds"][variant] = result.seconds
+        cells["nodes"][variant] = result.nodes
     return cells
 
 
@@ -180,6 +211,8 @@ def run_ablation(
             payload = ckpt.get(name)
             report.cubes[name] = dict(payload.get("cubes", {}))
             report.satisfied[name] = dict(payload.get("satisfied", {}))
+            report.seconds[name] = dict(payload.get("seconds", {}))
+            report.nodes[name] = dict(payload.get("nodes", {}))
             status = dict(payload.get("status", {}))
             if status:
                 report.cell_status[name] = status
@@ -200,6 +233,8 @@ def run_ablation(
         cells = outcome.value
         report.cubes[name] = cells["cubes"]
         report.satisfied[name] = cells["satisfied"]
+        report.seconds[name] = cells["seconds"]
+        report.nodes[name] = cells["nodes"]
         if cells["status"]:
             report.cell_status[name] = cells["status"]
         if ckpt is not None:

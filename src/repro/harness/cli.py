@@ -8,6 +8,8 @@ Commands
 * ``ablation`` — the DESIGN.md ablations.
 * ``encode <file.kiss2>`` — state-assign one KISS2 machine and print
   the encoding plus the minimized two-level size.
+* ``profile <target>`` — run one state assignment under the tracer
+  and print the per-phase timing/counter profile.
 * ``bench-list`` — list the registered benchmark machines.
 
 Robustness: the experiment commands take ``--timeout SECONDS`` (per
@@ -16,6 +18,14 @@ reused to skip completed benchmarks).  Structured failures
 (:class:`~repro.runtime.ReproError`) and I/O errors print a one-line
 diagnostic and exit with code 2; an experiment that completes but
 contains failed rows exits with code 1.
+
+Observability: every command but ``bench-list`` takes ``--trace PATH``
+(JSON-lines span/counter events via :class:`~repro.obs.JsonlSink`)
+and ``--profile`` (per-phase wall-clock/counter report after the
+command output; the table commands additionally grow per-row
+time/nodes columns).  Both install a process-wide
+:class:`~repro.obs.Tracer` that the solvers pick up through
+:func:`~repro.obs.resolve_tracer`.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from typing import List, Optional
 
 from ..encoding import derive_face_constraints
 from ..fsm import BENCHMARKS, parse_kiss
+from ..obs import JsonlSink, Tracer, profile_report, set_tracer
 from ..runtime import ReproError, faults
 from ..stateassign import assign_states
 from .ablation import run_ablation
@@ -64,6 +75,24 @@ def _build_parser() -> argparse.ArgumentParser:
                  "skipped on re-runs",
         )
 
+    def add_json_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--json", default=None, metavar="PATH",
+            help="also write the report as JSON",
+        )
+
+    def add_obs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="write tracing events (spans, counters, gauges) as "
+                 "JSON-lines to PATH",
+        )
+        p.add_argument(
+            "--profile", action="store_true",
+            help="collect per-phase timings/counters and print a "
+                 "profile report (tables grow time/nodes columns)",
+        )
+
     p1 = sub.add_parser("table1", help="regenerate Table I")
     p1.add_argument("--quick", action="store_true",
                     help="small/medium FSM subset")
@@ -71,32 +100,36 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="explicit FSM list")
     p1.add_argument("--no-enc", action="store_true",
                     help="skip the (slow) ENC baseline")
-    p1.add_argument("--json", default=None, metavar="PATH",
-                    help="also write the report as JSON")
+    add_json_flag(p1)
     add_runtime_flags(p1)
+    add_obs_flags(p1)
 
     p2 = sub.add_parser("table2", help="regenerate Table II")
     p2.add_argument("--quick", action="store_true")
     p2.add_argument("--fsm", nargs="*", default=None)
-    p2.add_argument("--json", default=None, metavar="PATH")
+    add_json_flag(p2)
     add_runtime_flags(p2)
+    add_obs_flags(p2)
 
     p3 = sub.add_parser("ablation", help="PICOLA design ablations")
     p3.add_argument("--fsm", nargs="*", default=None)
-    p3.add_argument("--json", default=None, metavar="PATH")
     p3.add_argument("--exact", action="store_true",
                     help="add the branch-and-bound reference column")
+    add_json_flag(p3)
     add_runtime_flags(p3)
+    add_obs_flags(p3)
 
     p4 = sub.add_parser("encode", help="state-assign a KISS2 file")
     p4.add_argument("kiss", help="path to a .kiss2 file")
     p4.add_argument("--method", default="picola")
+    add_obs_flags(p4)
 
     p5 = sub.add_parser(
         "analyze",
         help="explain a PICOLA run on a benchmark or KISS2 file",
     )
     p5.add_argument("target", help="benchmark name or .kiss2 path")
+    add_obs_flags(p5)
 
     p6 = sub.add_parser(
         "motivation",
@@ -104,6 +137,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p6.add_argument("target", help="benchmark name or .kiss2 path")
     p6.add_argument("--extra-bits", type=int, default=2)
+    add_obs_flags(p6)
 
     p7 = sub.add_parser(
         "export",
@@ -114,6 +148,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p7.add_argument("--format", choices=["blif", "verilog", "both"],
                     default="both")
     p7.add_argument("--out", default=".", help="output directory")
+    add_obs_flags(p7)
 
     p8 = sub.add_parser(
         "sweep",
@@ -121,8 +156,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p8.add_argument("--seeds", type=int, nargs="*", default=[0, 1, 2])
     p8.add_argument("--fsm", nargs="*", default=None)
-    p8.add_argument("--json", default=None, metavar="PATH")
+    add_json_flag(p8)
     add_runtime_flags(p8)
+    add_obs_flags(p8)
+
+    p9 = sub.add_parser(
+        "profile",
+        help="state-assign one machine under the tracer and print "
+             "the per-phase profile",
+    )
+    p9.add_argument("target", help="benchmark name or .kiss2 path")
+    p9.add_argument("--method", default="picola",
+                    help="state-assignment method")
+    add_obs_flags(p9)
 
     sub.add_parser("bench-list", help="list benchmark machines")
     return parser
@@ -148,13 +194,14 @@ def _maybe_json(report, path: Optional[str]) -> None:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    profile = getattr(args, "profile", False)
     if args.command == "table1":
         fsms = args.fsm or (QUICK_FSMS if args.quick else None)
         report = run_table1(
             fsms, include_enc=not args.no_enc, verbose=True,
             timeout=args.timeout, checkpoint=args.resume,
         )
-        print(report.render())
+        print(report.render(profile=profile))
         _maybe_json(report, args.json)
         return 1 if report.n_failed else 0
     elif args.command == "table2":
@@ -163,7 +210,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             fsms, verbose=True,
             timeout=args.timeout, checkpoint=args.resume,
         )
-        print(report.render())
+        print(report.render(profile=profile))
         _maybe_json(report, args.json)
         return 1 if report.n_failed else 0
     elif args.command == "ablation":
@@ -171,9 +218,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             args.fsm, verbose=True, include_exact=args.exact,
             timeout=args.timeout, checkpoint=args.resume,
         )
-        print(report.render())
+        print(report.render(profile=profile))
         _maybe_json(report, args.json)
         return 1 if report.n_failed else 0
+    elif args.command == "profile":
+        fsm = _load_target(args.target)
+        result = assign_states(fsm, args.method)
+        print(result.summary())
     elif args.command == "encode":
         with open(args.kiss) as handle:
             fsm = parse_kiss(handle.read(), name=args.kiss)
@@ -242,14 +293,47 @@ def _dispatch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _setup_tracer(args: argparse.Namespace) -> Optional[Tracer]:
+    """Install the process-wide tracer for --trace/--profile runs.
+
+    The ``profile`` command always traces (that is its whole job).
+    """
+    trace = getattr(args, "trace", None)
+    wants = (
+        trace is not None
+        or getattr(args, "profile", False)
+        or args.command == "profile"
+    )
+    if not wants:
+        return None
+    sinks = [JsonlSink(trace)] if trace else []
+    tracer = Tracer(*sinks)
+    set_tracer(tracer)
+    return tracer
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    tracer = _setup_tracer(args)
     try:
         faults.install_from_env()
-        return _dispatch(args)
+        code = _dispatch(args)
+        if tracer is not None and (
+            getattr(args, "profile", False)
+            or args.command == "profile"
+        ):
+            print()
+            print(profile_report(tracer).render())
+        return code
     except (ReproError, OSError) as exc:
         print(f"picola: error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            set_tracer(None)
+            tracer.close()
+            if getattr(args, "trace", None):
+                print(f"wrote trace {args.trace}")
 
 
 if __name__ == "__main__":  # pragma: no cover

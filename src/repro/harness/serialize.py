@@ -68,6 +68,10 @@ def _ablation(report: AblationReport) -> Dict[str, Any]:
         "satisfied": {
             f: dict(v) for f, v in report.satisfied.items()
         },
+        "seconds": {
+            f: dict(v) for f, v in report.seconds.items()
+        },
+        "nodes": {f: dict(v) for f, v in report.nodes.items()},
         "cell_status": {
             f: dict(v) for f, v in report.cell_status.items()
         },

@@ -21,12 +21,11 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..baselines import nova_encode
-from ..core import picola_encode
 from ..encoding import derive_face_constraints, evaluate_encoding
 from ..fsm import BENCHMARKS, load_benchmark
 from ..runtime import Budget, Checkpoint, faults
 from ..runtime.isolation import run_isolated
+from ..solvers import get_solver
 from .report import render_table
 from .table1 import QUICK_FSMS
 
@@ -132,9 +131,12 @@ def _sweep_cell(
     faults.trip("sweep.benchmark", key=f"{seed}/{name}")
     fsm = load_benchmark(name, seed=seed)
     cset = derive_face_constraints(fsm)
-    pic = picola_encode(cset, budget=Budget(seconds=timeout))
-    nov = nova_encode(
-        cset, seed=nova_seed, budget=Budget(seconds=timeout)
+    pic = get_solver("picola").solve(
+        cset, budget=Budget(seconds=timeout)
+    )
+    nov = get_solver("nova").solve(
+        cset, options={"seed": nova_seed},
+        budget=Budget(seconds=timeout),
     )
     return {
         "picola": evaluate_encoding(pic.encoding, cset).total_cubes,

@@ -24,12 +24,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Union
 
-from ..baselines import enc_encode, nova_encode
-from ..core import PicolaOptions, picola_encode
-from ..encoding import ConstraintSet, derive_face_constraints, evaluate_encoding
+from ..encoding import derive_face_constraints, evaluate_encoding
 from ..fsm import BENCHMARKS, TABLE1_FSMS, load_benchmark
 from ..runtime import Budget, BudgetExceeded, Checkpoint, SolverTimeout, faults
 from ..runtime.isolation import run_isolated
+from ..solvers import get_solver
 from .report import render_table
 
 __all__ = ["Table1Row", "Table1Report", "run_table1", "QUICK_FSMS"]
@@ -57,6 +56,9 @@ class Table1Row:
     seconds_nova: Optional[float] = None
     seconds_enc: Optional[float] = None
     seconds_picola: Optional[float] = None
+    nodes_nova: Optional[int] = None
+    nodes_enc: Optional[int] = None
+    nodes_picola: Optional[int] = None
     paper_constraints: Optional[int] = None
     paper_nova: Optional[int] = None
     paper_picola: Optional[int] = None
@@ -93,6 +95,11 @@ class Table1Row:
                 "enc": self.seconds_enc,
                 "picola": self.seconds_picola,
             },
+            "nodes": {
+                "nova": self.nodes_nova,
+                "enc": self.nodes_enc,
+                "picola": self.nodes_picola,
+            },
             "paper": {
                 "constraints": self.paper_constraints,
                 "nova": self.paper_nova,
@@ -107,6 +114,7 @@ class Table1Row:
     def from_dict(cls, data: Dict[str, Any]) -> "Table1Row":
         cubes = data.get("cubes", {})
         seconds = data.get("seconds", {})
+        nodes = data.get("nodes", {})
         paper = data.get("paper", {})
         return cls(
             fsm=data["fsm"],
@@ -118,6 +126,9 @@ class Table1Row:
             seconds_nova=seconds.get("nova"),
             seconds_enc=seconds.get("enc"),
             seconds_picola=seconds.get("picola"),
+            nodes_nova=nodes.get("nova"),
+            nodes_enc=nodes.get("enc"),
+            nodes_picola=nodes.get("picola"),
             paper_constraints=paper.get("constraints"),
             paper_nova=paper.get("nova"),
             paper_picola=paper.get("picola"),
@@ -175,19 +186,27 @@ class Table1Report:
             return 0.0
         return (total_nova - total_picola) / total_picola
 
-    def render(self) -> str:
+    def render(self, profile: bool = False) -> str:
+        """Text table; ``profile=True`` adds per-row time/node columns."""
         headers = [
             "FSM", "const", "NOVA", "ENC", "PICOLA",
             "paper:const", "paper:NOVA", "paper:PICOLA",
         ]
+        if profile:
+            headers += [
+                "t:NOVA", "t:PICOLA", "n:NOVA", "n:PICOLA",
+            ]
         rows = []
         for r in self.rows:
             if not r.ok:
-                rows.append([
+                cells: List[object] = [
                     r.fsm, f"FAILED ({r.failure_reason})",
                     None, None, None,
                     r.paper_constraints, r.paper_nova, r.paper_picola,
-                ])
+                ]
+                if profile:
+                    cells += [None, None, None, None]
+                rows.append(cells)
                 continue
             if r.cubes_enc is not None:
                 enc_cell: object = r.cubes_enc
@@ -197,12 +216,18 @@ class Table1Report:
                 enc_cell = "fails"
             else:
                 enc_cell = None
-            rows.append([
+            cells = [
                 r.fsm, r.n_constraints, r.cubes_nova,
                 enc_cell,
                 r.cubes_picola,
                 r.paper_constraints, r.paper_nova, r.paper_picola,
-            ])
+            ]
+            if profile:
+                cells += [
+                    r.seconds_nova, r.seconds_picola,
+                    r.nodes_nova, r.nodes_picola,
+                ]
+            rows.append(cells)
         ok_rows = _comparable(self.rows)
         footer = [
             "total",
@@ -215,6 +240,13 @@ class Table1Report:
             sum(r.cubes_picola for r in ok_rows),
             None, None, None,
         ]
+        if profile:
+            footer += [
+                sum(r.seconds_nova or 0.0 for r in ok_rows),
+                sum(r.seconds_picola or 0.0 for r in ok_rows),
+                sum(r.nodes_nova or 0 for r in ok_rows),
+                sum(r.nodes_picola or 0 for r in ok_rows),
+            ]
         table = render_table(
             headers, rows,
             title="Table I - constraint implementation cubes "
@@ -251,27 +283,31 @@ def _table1_row(
     cset = derive_face_constraints(fsm)
     spec = BENCHMARKS.get(name)
 
-    t0 = time.perf_counter()
-    picola = picola_encode(cset, budget=Budget(seconds=timeout))
-    t_picola = time.perf_counter() - t0
+    picola = get_solver("picola").solve(
+        cset, budget=Budget(seconds=timeout)
+    )
     cubes_picola = evaluate_encoding(
         picola.encoding, cset
     ).total_cubes
 
-    t0 = time.perf_counter()
-    nova = nova_encode(cset, seed=seed, budget=Budget(seconds=timeout))
-    t_nova = time.perf_counter() - t0
+    nova = get_solver("nova").solve(
+        cset, options={"seed": seed}, budget=Budget(seconds=timeout)
+    )
     cubes_nova = evaluate_encoding(nova.encoding, cset).total_cubes
 
     cubes_enc: Optional[int] = None
     t_enc: Optional[float] = None
+    nodes_enc: Optional[int] = None
     enc_status: Optional[str] = None
     enc_attempted = include_enc
     if include_enc and name not in ENC_SKIP:
         t0 = time.perf_counter()
         try:
-            enc = enc_encode(
-                cset, seed=seed, max_minimizations=enc_budget,
+            enc = get_solver("enc").solve(
+                cset,
+                options={
+                    "seed": seed, "max_minimizations": enc_budget,
+                },
                 budget=Budget(seconds=timeout),
             )
         except SolverTimeout:
@@ -279,7 +315,8 @@ def _table1_row(
         except BudgetExceeded:
             enc_status = "budget"
         else:
-            if enc.converged:
+            nodes_enc = enc.nodes
+            if enc.stats["converged"]:
                 cubes_enc = evaluate_encoding(
                     enc.encoding, cset
                 ).total_cubes
@@ -292,9 +329,12 @@ def _table1_row(
         cubes_enc=cubes_enc,
         enc_attempted=enc_attempted,
         cubes_picola=cubes_picola,
-        seconds_nova=t_nova,
+        seconds_nova=nova.seconds,
         seconds_enc=t_enc,
-        seconds_picola=t_picola,
+        seconds_picola=picola.seconds,
+        nodes_nova=nova.nodes,
+        nodes_enc=nodes_enc,
+        nodes_picola=picola.nodes,
         paper_constraints=spec.paper_constraints if spec else None,
         paper_nova=spec.paper_cubes_nova if spec else None,
         paper_picola=spec.paper_cubes_picola if spec else None,

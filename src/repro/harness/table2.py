@@ -40,6 +40,8 @@ class Table2Row:
     fsm: str
     sizes: Dict[str, Optional[int]] = field(default_factory=dict)
     seconds: Dict[str, Optional[float]] = field(default_factory=dict)
+    #: per-method encoder work (beam states / moves / minimizations)
+    nodes: Dict[str, Optional[int]] = field(default_factory=dict)
     #: "ok" | "timeout" | "budget" | "failed" — row-level outcome
     status: str = "ok"
     error: Optional[str] = None
@@ -69,6 +71,7 @@ class Table2Row:
             "fsm": self.fsm,
             "sizes": dict(self.sizes),
             "seconds": dict(self.seconds),
+            "nodes": dict(self.nodes),
             "status": self.status,
             "error": self.error,
             "method_status": dict(self.method_status),
@@ -80,6 +83,7 @@ class Table2Row:
             fsm=data["fsm"],
             sizes=dict(data.get("sizes", {})),
             seconds=dict(data.get("seconds", {})),
+            nodes=dict(data.get("nodes", {})),
             status=data.get("status", "ok"),
             error=data.get("error"),
             method_status=dict(data.get("method_status", {})),
@@ -100,22 +104,30 @@ class Table2Report:
     def n_failed(self) -> int:
         return sum(1 for r in self.rows if not r.ok)
 
-    def render(self) -> str:
+    def render(self, profile: bool = False) -> str:
+        """Text table; ``profile=True`` adds raw seconds and encoder
+        work (nodes) per method."""
         headers = [
             "FSM",
             "NOVA-ih size", "time",
             "NOVA-ioh size", "time",
             "NEW size", "time",
         ]
+        if profile:
+            for method in TABLE2_METHODS:
+                headers += [f"t:{method}", f"n:{method}"]
         rows = []
         for r in self.rows:
             if not r.ok:
-                rows.append([
+                cells: List[object] = [
                     r.fsm, f"FAILED ({r.failure_reason})",
                     None, None, None, None, None,
-                ])
+                ]
+                if profile:
+                    cells += [None] * (2 * len(TABLE2_METHODS))
+                rows.append(cells)
                 continue
-            cells: List[object] = [r.fsm]
+            cells = [r.fsm]
             for method in TABLE2_METHODS:
                 size = r.sizes.get(method)
                 if size is None:
@@ -126,6 +138,10 @@ class Table2Report:
                 else:
                     cells.append(size)
                 cells.append(r.time_ratio(method))
+            if profile:
+                for method in TABLE2_METHODS:
+                    cells.append(r.seconds.get(method))
+                    cells.append(r.nodes.get(method))
             rows.append(cells)
         footer = [
             "total",
@@ -133,6 +149,16 @@ class Table2Report:
             self.total_size("nova_ioh"), None,
             self.total_size("picola"), None,
         ]
+        if profile:
+            for method in TABLE2_METHODS:
+                footer.append(sum(
+                    r.seconds[method] for r in self.rows
+                    if r.ok and r.seconds.get(method) is not None
+                ))
+                footer.append(sum(
+                    r.nodes[method] for r in self.rows
+                    if r.ok and r.nodes.get(method) is not None
+                ))
         table = render_table(
             headers, rows,
             title="Table II - state assignment: two-level size and "
@@ -175,14 +201,17 @@ def _table2_row(
         except SolverTimeout:
             row.sizes[method] = None
             row.seconds[method] = None
+            row.nodes[method] = None
             row.method_status[method] = "timeout"
         except BudgetExceeded:
             row.sizes[method] = None
             row.seconds[method] = None
+            row.nodes[method] = None
             row.method_status[method] = "budget"
         else:
             row.sizes[method] = result.size
             row.seconds[method] = result.encode_seconds
+            row.nodes[method] = result.extra.get("encode_nodes")
     return row
 
 

@@ -20,21 +20,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
-from ..baselines import (
-    enc_encode,
-    gray_encoding,
-    natural_encoding,
-    nova_encode,
-    random_encoding,
-    state_affinity,
-)
-from ..core import PicolaOptions, picola_encode
+from ..core import PicolaOptions
 from ..encoding import ConstraintSet, Encoding, derive_face_constraints
+from ..obs import resolve_tracer
 from ..runtime import Budget
 from ..espresso import EspressoStats, Pla, espresso_pla
 from ..fsm import Fsm, encode_fsm
+from ..solvers import get_solver
 
 __all__ = ["AssignmentResult", "assign_states", "METHODS"]
 
@@ -50,6 +44,30 @@ METHODS = (
     "gray",
     "random",
 )
+
+#: method name -> (registry solver, fixed options) — the whole former
+#: if/elif dispatch, now data
+_METHOD_SOLVERS: Dict[str, Any] = {
+    "picola": ("picola", {}),
+    "nova_ih": ("nova", {"variant": "i_hybrid"}),
+    "nova_ioh": ("nova", {"variant": "io_hybrid"}),
+    "nova_greedy": ("nova", {"variant": "i_greedy"}),
+    "enc": ("enc", {}),
+    "mustang_p": ("mustang", {"variant": "p"}),
+    "mustang_n": ("mustang", {"variant": "n"}),
+    "natural": ("simple", {"scheme": "natural"}),
+    "gray": ("simple", {"scheme": "gray"}),
+    "random": ("simple", {"scheme": "random"}),
+}
+
+#: which EncodeResult.stats keys surface in AssignmentResult.extra
+_EXTRA_KEYS = {
+    "picola": ("satisfied", "guided"),
+    "nova": ("satisfied",),
+    "mustang": ("attraction",),
+    "enc": ("converged", "minimizations"),
+    "simple": (),
+}
 
 
 @dataclass
@@ -95,48 +113,30 @@ def _encode(
     picola_options: Optional[PicolaOptions],
     extra: Dict[str, object],
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> Encoding:
-    if method == "picola":
-        result = picola_encode(
-            cset, options=picola_options, budget=budget
-        )
-        extra["satisfied"] = len(result.satisfied)
-        extra["guided"] = len(result.infeasible)
-        return result.encoding
-    if method in ("nova_ih", "nova_ioh", "nova_greedy"):
-        variant = {
-            "nova_ih": "i_hybrid",
-            "nova_ioh": "io_hybrid",
-            "nova_greedy": "i_greedy",
-        }[method]
-        affinity = state_affinity(fsm) if variant == "io_hybrid" else None
-        result = nova_encode(
-            cset, variant=variant, affinity=affinity, seed=seed,
-            budget=budget,
-        )
-        extra["satisfied"] = result.satisfied
-        return result.encoding
-    if method in ("mustang_p", "mustang_n"):
-        from ..baselines import mustang_encode
-
-        result = mustang_encode(
-            fsm, cset.min_code_length(),
-            variant=method[-1], seed=seed, budget=budget,
-        )
-        extra["attraction"] = result.attraction
-        return result.encoding
-    if method == "enc":
-        result = enc_encode(cset, seed=seed, budget=budget)
-        extra["converged"] = result.converged
-        extra["minimizations"] = result.minimizations
-        return result.encoding
-    if method == "natural":
-        return natural_encoding(list(cset.symbols))
-    if method == "gray":
-        return gray_encoding(list(cset.symbols))
-    if method == "random":
-        return random_encoding(list(cset.symbols), seed=seed)
-    raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    try:
+        solver_name, fixed = _METHOD_SOLVERS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {METHODS}"
+        ) from None
+    options: Dict[str, Any] = dict(fixed)
+    solver = get_solver(solver_name)
+    if "seed" in solver.option_keys:
+        options["seed"] = seed
+    if "fsm" in solver.option_keys:
+        options["fsm"] = fsm
+    if solver_name == "picola" and picola_options is not None:
+        options["picola_options"] = picola_options
+    result = solver.solve(
+        cset, options=options, budget=budget, tracer=tracer
+    )
+    for key in _EXTRA_KEYS[solver_name]:
+        if key in result.stats:
+            extra[key] = result.stats[key]
+    extra["encode_nodes"] = result.nodes
+    return result.encoding
 
 
 def assign_states(
@@ -150,6 +150,7 @@ def assign_states(
     reduce: bool = False,
     sparse: bool = False,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> AssignmentResult:
     """State-assign ``fsm`` and implement it in two levels.
 
@@ -160,8 +161,11 @@ def assign_states(
     machines with don't-care behaviour); ``sparse=True`` adds the
     MAKE_SPARSE literal-reduction pass after espresso.  ``budget`` is
     a cooperative deadline/counter threaded through the encoder and
-    the espresso minimization.
+    the espresso minimization; ``tracer`` (default: the module-level
+    tracer) records ``assign/encode`` and ``assign/minimize`` spans
+    around the two timed pipeline steps.
     """
+    tracer = resolve_tracer(tracer)
     if reduce:
         from ..fsm import reduce_states
 
@@ -173,9 +177,11 @@ def assign_states(
         constraints = derive_face_constraints(fsm)
     extra: Dict[str, object] = {}
     t0 = time.perf_counter()
-    encoding = _encode(
-        fsm, constraints, method, seed, picola_options, extra, budget
-    )
+    with tracer.span("assign/encode", fsm=fsm.name, method=method):
+        encoding = _encode(
+            fsm, constraints, method, seed, picola_options, extra,
+            budget, tracer,
+        )
     encode_seconds = time.perf_counter() - t0
 
     pla = encode_fsm(
@@ -186,9 +192,13 @@ def assign_states(
     t0 = time.perf_counter()
     if minimize:
         stats = EspressoStats()
-        minimized = espresso_pla(
-            pla, stats=stats, use_lastgasp=False, budget=budget
-        )
+        with tracer.span(
+            "assign/minimize", fsm=fsm.name, method=method
+        ):
+            minimized = espresso_pla(
+                pla, stats=stats, use_lastgasp=False, budget=budget,
+                tracer=tracer,
+            )
         extra["espresso_iterations"] = stats.iterations
         if sparse:
             from ..espresso import make_sparse

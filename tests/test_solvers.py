@@ -1,0 +1,215 @@
+"""Conformance tests for the unified solver registry (repro.solvers)."""
+
+import inspect
+
+import pytest
+
+from repro.baselines.nova import nova_encode
+from repro.encoding import derive_face_constraints
+from repro.encoding.exact import exact_encode
+from repro.fsm import load_benchmark
+from repro.obs import MemorySink, Tracer
+from repro.runtime import Budget, Deadline
+from repro.solvers import (
+    EncodeResult,
+    Solver,
+    get_solver,
+    list_solvers,
+    register_solver,
+)
+
+ALL_SOLVERS = ("enc", "exact", "mustang", "nova", "picola", "simple")
+
+
+@pytest.fixture(scope="module")
+def lion():
+    fsm = load_benchmark("lion")
+    return fsm, derive_face_constraints(fsm)
+
+
+def _solve(name, fsm, cset, **kwargs):
+    """Solve with the per-solver required options filled in."""
+    options = dict(kwargs.pop("options", {}) or {})
+    if name == "mustang":
+        options.setdefault("fsm", fsm)
+    return get_solver(name).solve(cset, options=options, **kwargs)
+
+
+class TestRegistry:
+    def test_all_solvers_registered(self):
+        assert list_solvers() == ALL_SOLVERS
+
+    def test_unknown_solver_lists_the_menu(self):
+        with pytest.raises(KeyError, match="picola"):
+            get_solver("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(Solver):
+            name = "picola"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_solver(Dup())
+
+    def test_replace_and_restore(self):
+        original = get_solver("simple")
+
+        class Override(Solver):
+            name = "simple"
+
+        try:
+            register_solver(Override(), replace=True)
+            assert isinstance(get_solver("simple"), Override)
+        finally:
+            register_solver(original, replace=True)
+        assert get_solver("simple") is original
+
+    def test_unnamed_solver_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            register_solver(Solver())
+
+
+class TestUniformSignature:
+    def test_solve_signature_is_shared(self):
+        expected = [
+            "self", "symbols", "constraints",
+            "options", "budget", "deadline", "tracer",
+        ]
+        for name in ALL_SOLVERS:
+            solver = get_solver(name)
+            sig = inspect.signature(type(solver).solve)
+            assert list(sig.parameters) == expected, name
+            for kw in ("options", "budget", "deadline", "tracer"):
+                assert (
+                    sig.parameters[kw].kind
+                    is inspect.Parameter.KEYWORD_ONLY
+                ), (name, kw)
+
+    @pytest.mark.parametrize("name", ALL_SOLVERS)
+    def test_result_shape(self, name, lion):
+        fsm, cset = lion
+        result = _solve(name, fsm, cset)
+        assert isinstance(result, EncodeResult)
+        assert result.solver == name
+        assert result.seconds >= 0.0
+        assert isinstance(result.nodes, int)
+        assert result.nodes >= 0
+        assert "nodes" in result.stats
+        # the encoding covers every symbol, injectively
+        encoding = result.encoding
+        assert set(encoding.symbols) == set(cset.symbols)
+        assert encoding.is_injective()
+        assert encoding.n_bits >= cset.min_code_length()
+
+    @pytest.mark.parametrize("name", ("picola", "exact"))
+    def test_constraint_solvers_do_real_work(self, name, lion):
+        fsm, cset = lion
+        result = _solve(name, fsm, cset)
+        assert result.nodes > 0
+        assert result.stats["satisfied"] > 0
+
+    def test_symbols_plus_constraints_form(self):
+        result = get_solver("simple").solve(["a", "b", "c"], ())
+        assert set(result.encoding.symbols) == {"a", "b", "c"}
+
+    def test_constraint_set_plus_constraints_rejected(self, lion):
+        fsm, cset = lion
+        with pytest.raises(ValueError, match="not both"):
+            get_solver("picola").solve(cset, [])
+
+
+class TestOptionValidation:
+    def test_unknown_option_raises(self, lion):
+        fsm, cset = lion
+        with pytest.raises(TypeError, match="typo_key"):
+            get_solver("picola").solve(
+                cset, options={"typo_key": 1}
+            )
+
+    def test_error_names_the_known_keys(self, lion):
+        fsm, cset = lion
+        with pytest.raises(TypeError, match="anneal_moves"):
+            get_solver("nova").solve(cset, options={"bogus": 1})
+
+    def test_mustang_requires_fsm(self, lion):
+        fsm, cset = lion
+        with pytest.raises(TypeError, match="fsm"):
+            get_solver("mustang").solve(cset)
+
+    def test_budget_and_deadline_exclusive(self, lion):
+        fsm, cset = lion
+        with pytest.raises(ValueError, match="not both"):
+            get_solver("picola").solve(
+                cset,
+                budget=Budget(seconds=10),
+                deadline=Deadline(10),
+            )
+
+    def test_deadline_alone_is_accepted(self, lion):
+        fsm, cset = lion
+        result = get_solver("picola").solve(
+            cset, deadline=Deadline(60)
+        )
+        assert result.encoding.is_injective()
+
+
+class TestTracerPlumbing:
+    def test_nodes_counted_without_a_tracer(self, lion):
+        """Node counts come from a private tracer when tracing is off."""
+        fsm, cset = lion
+        result = get_solver("nova").solve(cset)
+        assert result.nodes > 0
+
+    def test_callers_tracer_sees_solver_counters(self, lion):
+        fsm, cset = lion
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        result = get_solver("picola").solve(cset, tracer=tracer)
+        assert tracer.counter("picola.beam_states") == result.nodes
+        assert any(
+            s["name"] == "picola/encode" for s in sink.spans
+        )
+
+
+class TestDeterminismAcrossApis:
+    """The registry must not change results vs the legacy entry points."""
+
+    def test_picola_matches_legacy_call(self, lion):
+        from repro.core import picola_encode
+
+        fsm, cset = lion
+        via_registry = get_solver("picola").solve(cset)
+        legacy = picola_encode(cset)
+        assert (
+            via_registry.encoding.codes == legacy.encoding.codes
+        )
+
+    def test_nova_matches_legacy_call(self, lion):
+        fsm, cset = lion
+        via_registry = get_solver("nova").solve(
+            cset, options={"seed": 1}
+        )
+        legacy = nova_encode(cset, seed=1)
+        assert (
+            via_registry.encoding.codes == legacy.encoding.codes
+        )
+
+
+class TestDeprecations:
+    def test_exact_positional_nv_warns(self, lion):
+        fsm, cset = lion
+        with pytest.warns(DeprecationWarning, match="nv"):
+            exact_encode(cset, 2)
+
+    def test_nova_positional_nv_warns(self, lion):
+        fsm, cset = lion
+        with pytest.warns(DeprecationWarning, match="nv"):
+            nova_encode(cset, 2)
+
+    def test_keyword_nv_is_clean(self, lion):
+        import warnings
+
+        fsm, cset = lion
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            exact_encode(cset, nv=2)
+            nova_encode(cset, nv=2)
