@@ -17,7 +17,11 @@ harness regenerating Tables I and II (:mod:`repro.harness`).
 
 Since 1.1.0 every encoder is also reachable through the unified
 solver registry (:mod:`repro.solvers`) and instrumented with the
-zero-dependency observability layer (:mod:`repro.obs`).
+zero-dependency observability layer (:mod:`repro.obs`).  Since 1.2.0
+the conventions those layers rely on — budget threading, span
+hygiene, the error taxonomy, determinism, registry conformance — are
+enforced by a built-in static analyzer (:mod:`repro.analysis`,
+``picola lint``).
 
 Quickstart::
 
@@ -70,6 +74,8 @@ from .runtime import (
     CheckpointError,
     Deadline,
     InfeasibleError,
+    InvalidSpecError,
+    InvariantViolation,
     ParseError,
     ReproError,
     SolverTimeout,
@@ -83,7 +89,7 @@ from .solvers import (
 )
 from .stateassign import assign_states
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "PicolaOptions",
@@ -127,6 +133,8 @@ __all__ = [
     "CheckpointError",
     "Deadline",
     "InfeasibleError",
+    "InvalidSpecError",
+    "InvariantViolation",
     "ParseError",
     "ReproError",
     "SolverTimeout",

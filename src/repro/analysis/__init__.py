@@ -1,0 +1,59 @@
+"""Project-aware static analysis: AST lint rules for repo invariants.
+
+PRs 1 and 3 threaded cooperative budgets, tracer spans, the
+:class:`~repro.runtime.ReproError` taxonomy and the unified solver
+registry through every encoder — this package *enforces* those
+conventions so they cannot silently regress:
+
+======  ==========================================================
+RPA001  kernel loops must tick/forward the in-scope Budget/Deadline
+RPA002  ``tracer.span(...)`` only as a ``with`` context manager
+RPA003  no broad ``except`` that swallows failures
+RPA004  solver modules raise the taxonomy, not builtin exceptions
+RPA005  no unseeded randomness / wall clocks / bare-set iteration
+RPA006  every public ``*_encode`` sits behind ``repro.solvers``
+RPA007  no internal callers of the deprecated positional ``nv``
+======  ==========================================================
+
+Entry points: ``picola lint`` and ``python -m repro.analysis`` (same
+flags).  Suppress one line with ``# repro: noqa[RPA001] -- why``, a
+whole file with ``# repro: noqa-file[...]``, or record accepted debt
+in a committed baseline (``--baseline`` / ``--update-baseline``).
+Everything is pure ``ast``/``tokenize`` — linting never imports the
+code under analysis.
+"""
+
+from .baseline import Baseline, BaselineEntry, split_by_baseline
+from .cli import main, run_lint
+from .engine import (
+    AnalysisReport,
+    FileContext,
+    Finding,
+    ProjectRule,
+    Rule,
+    Suppression,
+    analyze,
+)
+from .report import LintResult, render_json, render_text
+from .rules import DEFAULT_RULES, RULE_CLASSES, rules_by_id
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_RULES",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "ProjectRule",
+    "RULE_CLASSES",
+    "Rule",
+    "Suppression",
+    "analyze",
+    "main",
+    "render_json",
+    "render_text",
+    "rules_by_id",
+    "run_lint",
+    "split_by_baseline",
+]

@@ -1,0 +1,139 @@
+"""Committed baselines: accepted findings with justifications.
+
+A baseline lets the linter gate *new* violations while known ones are
+paid down: each entry pins one finding by ``(rule, path,
+fingerprint)`` — the fingerprint hashes the offending source line, so
+entries survive pure line-number drift but die with the code they
+excuse.  Every entry must carry a ``justification``; ``--strict``
+fails on entries no finding matches any more (stale debt must be
+deleted, not hoarded).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .engine import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "split_by_baseline"]
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    fingerprint: str
+    justification: str
+    line: int = 0  # informational; matching ignores it
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            self.rule == finding.rule
+            and self.path == finding.path
+            and self.fingerprint == finding.fingerprint
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "fingerprint": self.fingerprint,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(
+                f"unreadable baseline {path}: {exc}"
+            ) from exc
+        if data.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"baseline {path}: unsupported version "
+                f"{data.get('version')!r} (expected {FORMAT_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                rule=e["rule"],
+                path=e["path"],
+                fingerprint=e["fingerprint"],
+                justification=e.get("justification", ""),
+                line=int(e.get("line", 0)),
+            )
+            for e in data.get("entries", [])
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": FORMAT_VERSION,
+            "entries": [
+                e.to_dict()
+                for e in sorted(
+                    self.entries,
+                    key=lambda e: (e.path, e.rule, e.fingerprint),
+                )
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Sequence[Finding],
+        justification: str = "baselined pre-existing finding; "
+        "fix before extending this code",
+    ) -> "Baseline":
+        return cls(
+            entries=[
+                BaselineEntry(
+                    rule=f.rule,
+                    path=f.path,
+                    fingerprint=f.fingerprint,
+                    justification=justification,
+                    line=f.line,
+                )
+                for f in findings
+            ]
+        )
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], baseline: Optional[Baseline]
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Partition into (new, baselined) and report stale entries."""
+    if baseline is None:
+        return list(findings), [], []
+    new: List[Finding] = []
+    matched: List[Finding] = []
+    used: set = set()
+    for finding in findings:
+        hit = None
+        for i, entry in enumerate(baseline.entries):
+            if entry.matches(finding):
+                hit = i
+                break
+        if hit is None:
+            new.append(finding)
+        else:
+            used.add(hit)
+            matched.append(finding)
+    stale = [
+        entry
+        for i, entry in enumerate(baseline.entries)
+        if i not in used
+    ]
+    return new, matched, stale

@@ -1,0 +1,180 @@
+"""Command-line front end: ``picola lint`` / ``python -m repro.analysis``.
+
+Exit codes: 0 clean, 1 violations (with ``--strict`` also stale
+baseline entries and unused suppressions), 2 usage errors (bad path,
+unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import Baseline, split_by_baseline
+from .engine import analyze
+from .report import LintResult, render_json, render_text
+from .rules import DEFAULT_RULES, RULE_CLASSES
+
+__all__ = ["add_lint_arguments", "main", "run_lint"]
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def _package_root() -> Path:
+    """The installed ``repro`` package directory (the default target)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``lint`` flags, shared by ``picola lint`` and ``-m``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to analyze "
+        "(default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries and unused "
+        "suppressions",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the machine-readable JSON report on stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file of accepted findings "
+        f"(default: ./{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings "
+        "(justifications of kept entries are preserved) and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _resolve_baseline_path(arg: Optional[str]) -> Optional[Path]:
+    if arg is not None:
+        return Path(arg)
+    default = Path.cwd() / DEFAULT_BASELINE_NAME
+    return default if default.exists() else None
+
+
+def _list_rules() -> str:
+    lines = []
+    for cls in RULE_CLASSES:
+        entry = cls.catalog_entry()
+        lines.append(f"{entry['rule']}  {entry['title']}")
+        lines.append(f"    scope: {', '.join(entry['scope'])}")
+        lines.append(f"    {entry['rationale']}")
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute one lint run from parsed arguments."""
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    if args.paths:
+        roots = [Path(p) for p in args.paths]
+        missing = [p for p in roots if not p.exists()]
+        if missing:
+            print(
+                "picola lint: no such path: "
+                + ", ".join(str(p) for p in missing),
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        roots = [_package_root()]
+
+    baseline_path = _resolve_baseline_path(args.baseline)
+    baseline: Optional[Baseline] = None
+    if baseline_path is not None and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"picola lint: {exc}", file=sys.stderr)
+            return 2
+
+    rules = DEFAULT_RULES()
+    report = None
+    for root in roots:
+        part = analyze(root, rules)
+        if report is None:
+            report = part
+        else:
+            report.findings.extend(part.findings)
+            report.suppressed.extend(part.suppressed)
+            report.unused_suppressions.extend(
+                part.unused_suppressions
+            )
+            report.files_checked += part.files_checked
+    assert report is not None
+
+    if args.update_baseline:
+        target = baseline_path or Path.cwd() / DEFAULT_BASELINE_NAME
+        fresh = Baseline.from_findings(report.findings)
+        if baseline is not None:
+            # keep hand-written justifications of surviving entries
+            kept = {
+                (e.rule, e.path, e.fingerprint): e.justification
+                for e in baseline.entries
+            }
+            for entry in fresh.entries:
+                key = (entry.rule, entry.path, entry.fingerprint)
+                if key in kept:
+                    entry.justification = kept[key]
+        fresh.save(target)
+        print(
+            f"wrote {target} ({len(fresh.entries)} entries); edit the "
+            "justification fields before committing"
+        )
+        return 0
+
+    new, matched, stale = split_by_baseline(report.findings, baseline)
+    result = LintResult(
+        report=report,
+        new_findings=new,
+        baselined=matched,
+        stale_baseline=stale,
+        strict=args.strict,
+        baseline_path=(
+            str(baseline_path) if baseline is not None else None
+        ),
+    )
+    print(render_json(result) if args.as_json else render_text(result))
+    return result.exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Project-aware static analysis: budget threading, span "
+            "hygiene, the error taxonomy, determinism and registry "
+            "conformance (rules RPA001-RPA007)"
+        ),
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

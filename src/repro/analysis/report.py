@@ -1,0 +1,114 @@
+"""Text and JSON reporters for lint runs.
+
+The JSON document is the machine interface CI consumes; its shape is
+pinned by ``tests/test_analysis.py`` (schema assertions), so treat key
+removals as breaking changes and bump ``JSON_SCHEMA_VERSION``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .baseline import BaselineEntry
+from .engine import AnalysisReport, Finding, Suppression
+
+__all__ = ["LintResult", "render_text", "render_json"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run decided, ready for a reporter."""
+
+    report: AnalysisReport
+    new_findings: List[Finding]
+    baselined: List[Finding]
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    strict: bool = False
+    baseline_path: Optional[str] = None
+
+    @property
+    def unused_suppressions(self) -> List[Suppression]:
+        return self.report.unused_suppressions
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean; 1 violations (strict adds hygiene failures)."""
+        if self.new_findings:
+            return 1
+        if self.strict and (
+            self.stale_baseline or self.unused_suppressions
+        ):
+            return 1
+        return 0
+
+
+def render_text(result: LintResult) -> str:
+    lines: List[str] = []
+    for finding in result.new_findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule} {finding.message}"
+        )
+    if result.stale_baseline:
+        for entry in result.stale_baseline:
+            lines.append(
+                f"{entry.path}: stale baseline entry {entry.rule} "
+                f"({entry.fingerprint}) — the finding it excused is "
+                "gone; delete it"
+            )
+    if result.unused_suppressions:
+        for sup in result.unused_suppressions:
+            which = ",".join(sup.rules) if sup.rules else "all"
+            lines.append(
+                f"{sup.path}:{sup.line}: unused suppression "
+                f"(# repro: noqa[{which}]) — nothing to suppress; "
+                "delete it"
+            )
+    n = len(result.new_findings)
+    summary = (
+        f"{result.report.files_checked} files checked: "
+        f"{n} finding{'s' if n != 1 else ''}"
+    )
+    extras = []
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if result.report.suppressed:
+        extras.append(f"{len(result.report.suppressed)} suppressed")
+    if result.stale_baseline:
+        extras.append(
+            f"{len(result.stale_baseline)} stale baseline entries"
+        )
+    if result.unused_suppressions:
+        extras.append(
+            f"{len(result.unused_suppressions)} unused suppressions"
+        )
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    doc: Dict[str, object] = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "strict": result.strict,
+        "files_checked": result.report.files_checked,
+        "baseline": result.baseline_path,
+        "findings": [f.to_dict() for f in result.new_findings],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "suppressed": [
+            {"finding": f.to_dict(), "suppression": s.to_dict()}
+            for f, s in result.report.suppressed
+        ],
+        "stale_baseline_entries": [
+            e.to_dict() for e in result.stale_baseline
+        ],
+        "unused_suppressions": [
+            s.to_dict() for s in result.unused_suppressions
+        ],
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(doc, indent=2)

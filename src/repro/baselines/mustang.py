@@ -25,7 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..encoding.codes import Encoding
 from ..fsm import Fsm
 from ..obs import resolve_tracer
-from ..runtime import Budget, InfeasibleError, faults
+from ..runtime import Budget, InfeasibleError, InvalidSpecError, faults
 from .nova import state_affinity
 
 __all__ = ["MustangResult", "mustang_encode", "attraction_graph"]
@@ -50,7 +50,7 @@ def attraction_graph(
     :func:`repro.baselines.nova.state_affinity` plus a fan-in term.
     """
     if variant not in ("p", "n"):
-        raise ValueError(f"unknown MUSTANG variant {variant!r}")
+        raise InvalidSpecError(f"unknown MUSTANG variant {variant!r}")
     weights: Dict[Tuple[str, str], float] = {}
     if variant == "p":
         for pair, w in state_affinity(fsm).items():

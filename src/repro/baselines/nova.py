@@ -30,7 +30,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..encoding.codes import Encoding, face_of
 from ..encoding.constraints import ConstraintSet, FaceConstraint
 from ..obs import resolve_tracer
-from ..runtime import Budget, InfeasibleError, faults
+from ..runtime import Budget, InfeasibleError, InvalidSpecError, faults
 
 __all__ = ["NovaResult", "nova_encode", "state_affinity"]
 
@@ -71,7 +71,7 @@ def nova_encode(
         )
         nv = args[0]
     if variant not in ("i_greedy", "i_hybrid", "io_hybrid"):
-        raise ValueError(f"unknown NOVA variant {variant!r}")
+        raise InvalidSpecError(f"unknown NOVA variant {variant!r}")
     if variant == "io_hybrid" and affinity is None:
         affinity = {}
     tracer = resolve_tracer(tracer)

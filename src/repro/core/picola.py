@@ -31,7 +31,7 @@ from ..encoding.codes import Encoding
 from ..encoding.constraints import ConstraintSet, FaceConstraint
 from ..encoding.matrix import ConstraintMatrix, ConstraintRow
 from ..obs import resolve_tracer
-from ..runtime import Budget, InfeasibleError, faults
+from ..runtime import Budget, InfeasibleError, InvalidSpecError, faults
 from .classify import classify
 from .guides import guide_constraint
 from .solve import PrefixGroups, candidate_columns
@@ -193,7 +193,7 @@ def picola_encode(
     if isinstance(symbols_or_set, ConstraintSet):
         cset = symbols_or_set
         if constraints is not None:
-            raise ValueError(
+            raise InvalidSpecError(
                 "pass constraints inside the ConstraintSet, not both"
             )
     else:
@@ -201,7 +201,7 @@ def picola_encode(
     if options is None:
         options = PicolaOptions()
     if options.beam_width < 1 or options.beam_candidates < 1:
-        raise ValueError("beam_width and beam_candidates must be >= 1")
+        raise InvalidSpecError("beam_width and beam_candidates must be >= 1")
     policy = options.weight_policy()
 
     if nv is None:
@@ -220,10 +220,7 @@ def picola_encode(
         )
     ]
     classified_once = False
-    run_span = tracer.span(
-        "picola/encode", symbols=cset.n_symbols, nv=nv
-    )
-    with run_span:
+    with tracer.span("picola/encode", symbols=cset.n_symbols, nv=nv):
         for j in range(nv):
             faults.trip("picola.column")
             children: List[Tuple[float, int, _BeamState]] = []
@@ -271,6 +268,8 @@ def picola_encode(
                 best_score = None
                 best_pair = None
                 for state in beam[: min(3, len(beam))]:
+                    if budget is not None:
+                        budget.check(where="picola_repair")
                     candidate = Encoding.from_columns(
                         list(cset.symbols), state.columns
                     )

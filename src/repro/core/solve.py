@@ -28,6 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..encoding.matrix import ConstraintMatrix, ConstraintRow
 from ..obs import resolve_tracer
+from ..runtime import InvariantViolation
 from .weights import WeightPolicy
 
 __all__ = ["generate_column", "PrefixGroups"]
@@ -251,7 +252,7 @@ class _ColumnBuilder:
                     best_gain = g
                     best_s = s
             if best_s is None:
-                raise RuntimeError(
+                raise InvariantViolation(
                     "no admissible flip in an overfull group; the valid "
                     "partial encoding invariant was violated earlier"
                 )
@@ -337,7 +338,7 @@ def candidate_columns(
             continue
         seen.add(key)
         if not groups.is_valid_column(column):
-            raise RuntimeError(
+            raise InvariantViolation(
                 "Solve() produced an invalid column; this indicates a "
                 "bug in the admissibility bookkeeping"
             )

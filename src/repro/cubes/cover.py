@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Optional, Sequence
 
+from ..runtime import InvalidSpecError
 from . import cube as _cube
 from .complement import absorb, complement
 from .space import Space
@@ -113,7 +114,7 @@ class Cover:
 
     def _check_space(self, other: "Cover") -> None:
         if self.space != other.space:
-            raise ValueError("covers live in different spaces")
+            raise InvalidSpecError("covers live in different spaces")
 
     # operator sugar
     def __or__(self, other: "Cover") -> "Cover":

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..runtime import InvalidSpecError, ParseError
+
 __all__ = ["Space"]
 
 
@@ -58,11 +60,11 @@ class Space:
         labels: Optional[Sequence[str]] = None,
     ) -> None:
         if not part_sizes:
-            raise ValueError("a space needs at least one part")
+            raise InvalidSpecError("a space needs at least one part")
         if any(size < 1 for size in part_sizes):
-            raise ValueError("every part needs at least one value")
+            raise InvalidSpecError("every part needs at least one value")
         if labels is not None and len(labels) != len(part_sizes):
-            raise ValueError("labels must match part_sizes in length")
+            raise InvalidSpecError("labels must match part_sizes in length")
         self.part_sizes: Tuple[int, ...] = tuple(part_sizes)
         if labels is None:
             labels = [f"p{i}" for i in range(len(part_sizes))]
@@ -87,14 +89,14 @@ class Space:
         """Space of ``n_inputs`` binary variables plus an optional output
         part of size ``n_outputs`` (the ESPRESSO multi-output encoding)."""
         if n_inputs < 0 or n_outputs < 0:
-            raise ValueError("negative part counts")
+            raise InvalidSpecError("negative part counts")
         sizes = [2] * n_inputs
         labels = [f"x{i}" for i in range(n_inputs)]
         if n_outputs:
             sizes.append(n_outputs)
             labels.append("out")
         if not sizes:
-            raise ValueError("empty space")
+            raise InvalidSpecError("empty space")
         return cls(sizes, labels)
 
     @property
@@ -123,13 +125,13 @@ class Space:
     def with_field(self, cube: int, part: int, field: int) -> int:
         """``cube`` with the field of ``part`` replaced by ``field``."""
         if field >> self.part_sizes[part]:
-            raise ValueError("field wider than part")
+            raise InvalidSpecError("field wider than part")
         return (cube & ~self.part_masks[part]) | (field << self.offsets[part])
 
     def position(self, part: int, value: int) -> int:
         """Global bit index of ``value`` within ``part``."""
         if not 0 <= value < self.part_sizes[part]:
-            raise ValueError("value out of range for part")
+            raise InvalidSpecError("value out of range for part")
         return self.offsets[part] + value
 
     def literal(self, part: int, value: int) -> int:
@@ -141,11 +143,11 @@ class Space:
     def make_cube(self, fields: Sequence[int]) -> int:
         """Build a cube from one field per part."""
         if len(fields) != self.num_parts:
-            raise ValueError("need one field per part")
+            raise InvalidSpecError("need one field per part")
         cube = 0
         for part, field in enumerate(fields):
             if field >> self.part_sizes[part]:
-                raise ValueError(f"field {field:#x} too wide for part {part}")
+                raise InvalidSpecError(f"field {field:#x} too wide for part {part}")
             cube |= field << self.offsets[part]
         return cube
 
@@ -156,7 +158,7 @@ class Space:
     def minterm(self, values: Sequence[int]) -> int:
         """The 0-cube selecting exactly one value per part."""
         if len(values) != self.num_parts:
-            raise ValueError("need one value per part")
+            raise InvalidSpecError("need one value per part")
         cube = 0
         for part, value in enumerate(values):
             cube |= 1 << self.position(part, value)
@@ -227,17 +229,17 @@ class Space:
         for part, size in enumerate(self.part_sizes):
             if size == 2 and not self._is_output_part(part):
                 if pos >= len(flat):
-                    raise ValueError(f"cube string too short: {text!r}")
+                    raise ParseError(f"cube string too short: {text!r}")
                 char = flat[pos]
                 try:
                     field = {"~": 0, "0": 1, "1": 2, "-": 3, "2": 3}[char]
                 except KeyError:
-                    raise ValueError(f"bad literal {char!r} in {text!r}")
+                    raise ParseError(f"bad literal {char!r} in {text!r}")
                 pos += 1
             else:
                 bits = flat[pos : pos + size]
                 if len(bits) != size or set(bits) - {"0", "1"}:
-                    raise ValueError(f"bad MV field in {text!r}")
+                    raise ParseError(f"bad MV field in {text!r}")
                 field = 0
                 for value, bit in enumerate(bits):
                     if bit == "1":
@@ -245,7 +247,7 @@ class Space:
                 pos += size
             cube |= field << self.offsets[part]
         if pos != len(flat):
-            raise ValueError(f"cube string too long: {text!r}")
+            raise ParseError(f"cube string too long: {text!r}")
         return cube
 
     # ------------------------------------------------------------------

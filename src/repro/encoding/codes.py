@@ -14,6 +14,8 @@ from typing import (
     Tuple,
 )
 
+from ..runtime import InvalidSpecError
+
 __all__ = ["Encoding", "face_of"]
 
 
@@ -26,7 +28,7 @@ def face_of(codes: Iterable[int], n_bits: int) -> Tuple[int, int]:
     """
     codes = list(codes)
     if not codes:
-        raise ValueError("face of an empty set is undefined")
+        raise InvalidSpecError("face of an empty set is undefined")
     all_ones = (1 << n_bits) - 1
     agree_one = all_ones
     agree_zero = all_ones
@@ -54,7 +56,7 @@ class Encoding:
         self.symbols = tuple(symbols)
         missing = set(self.symbols) - set(codes)
         if missing:
-            raise ValueError(f"codes missing for {sorted(missing)}")
+            raise InvalidSpecError(f"codes missing for {sorted(missing)}")
         self.codes = {s: codes[s] for s in self.symbols}
         if n_bits is None:
             n_bits = max(
@@ -63,7 +65,7 @@ class Encoding:
         self.n_bits = n_bits
         for s, c in self.codes.items():
             if c < 0 or c >> n_bits:
-                raise ValueError(f"code of {s} does not fit in {n_bits} bits")
+                raise InvalidSpecError(f"code of {s} does not fit in {n_bits} bits")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -72,7 +74,7 @@ class Encoding:
         n_bits: Optional[int] = None,
     ) -> "Encoding":
         if len(symbols) != len(code_list):
-            raise ValueError("one code per symbol required")
+            raise InvalidSpecError("one code per symbol required")
         return cls(symbols, dict(zip(symbols, code_list)), n_bits)
 
     @classmethod

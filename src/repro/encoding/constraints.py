@@ -29,6 +29,8 @@ from typing import (
     Tuple,
 )
 
+from ..runtime import InvalidSpecError
+
 __all__ = ["FaceConstraint", "SeedDichotomy", "ConstraintSet"]
 
 
@@ -50,14 +52,14 @@ class FaceConstraint:
     ) -> None:
         object.__setattr__(self, "symbols", frozenset(symbols))
         if kind not in ("original", "guide"):
-            raise ValueError(f"bad constraint kind {kind!r}")
+            raise InvalidSpecError(f"bad constraint kind {kind!r}")
         object.__setattr__(self, "kind", kind)
         object.__setattr__(
             self, "parent", frozenset(parent) if parent is not None else None
         )
         object.__setattr__(self, "weight", weight)
         if not self.symbols:
-            raise ValueError("a face constraint needs at least one symbol")
+            raise InvalidSpecError("a face constraint needs at least one symbol")
 
     def __len__(self) -> int:
         return len(self.symbols)
@@ -98,7 +100,7 @@ class SeedDichotomy:
         object.__setattr__(self, "block", frozenset(block))
         object.__setattr__(self, "outsider", outsider)
         if outsider in self.block:
-            raise ValueError("outsider cannot be inside the block")
+            raise InvalidSpecError("outsider cannot be inside the block")
 
     def satisfied_by_column(self, column: Dict[str, int]) -> bool:
         """Does a single code column (symbol -> 0/1) satisfy this?"""
@@ -121,7 +123,7 @@ class ConstraintSet:
         constraints: Iterable[FaceConstraint] = (),
     ) -> None:
         if len(set(symbols)) != len(symbols):
-            raise ValueError("duplicate symbols")
+            raise InvalidSpecError("duplicate symbols")
         self.symbols: Tuple[str, ...] = tuple(symbols)
         self._index = {s: i for i, s in enumerate(self.symbols)}
         self.constraints: List[FaceConstraint] = []
@@ -132,7 +134,7 @@ class ConstraintSet:
     def add(self, constraint: FaceConstraint) -> None:
         unknown = constraint.symbols - set(self.symbols)
         if unknown:
-            raise ValueError(f"constraint mentions unknown symbols {unknown}")
+            raise InvalidSpecError(f"constraint mentions unknown symbols {unknown}")
         self.constraints.append(constraint)
 
     def index_of(self, symbol: str) -> int:

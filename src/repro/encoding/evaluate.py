@@ -24,6 +24,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..cubes import Space, contains
 from ..espresso import ExactLimitError, espresso, exact_minimize
+from ..runtime import InvalidSpecError
 from .codes import Encoding
 from .constraints import ConstraintSet, FaceConstraint, SeedDichotomy
 
@@ -121,7 +122,7 @@ def evaluate_encoding(
 ) -> EvaluationReport:
     """Score an encoding against the *original* constraint set."""
     if not encoding.is_injective():
-        raise ValueError("encoding is not injective")
+        raise InvalidSpecError("encoding is not injective")
     report = EvaluationReport(encoding)
     n = len(constraints.symbols)
     for constraint in constraints.nontrivial():

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set
 
+from ..runtime import InvalidSpecError
 from .constraints import ConstraintSet, FaceConstraint
 
 __all__ = ["ConstraintRow", "ConstraintMatrix"]
@@ -108,7 +109,7 @@ class ConstraintMatrix:
         """Update all marks after generating one code column."""
         j = self.columns_generated
         if j >= self.nv:
-            raise ValueError("all code columns already generated")
+            raise InvalidSpecError("all code columns already generated")
         for row in self.rows:
             values = {column[s] for s in row.members}
             if len(values) > 1:

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..cubes import Space, absorb, cover_contains_cube
 from ..espresso import espresso
 from ..fsm import Fsm, fsm_to_symbolic_cover
+from ..runtime import InvalidSpecError
 from .constraints import ConstraintSet, FaceConstraint
 
 __all__ = [
@@ -103,7 +104,7 @@ def constraints_from_cover(
     state_part = space.num_parts - 2
     n_states = space.part_sizes[state_part]
     if n_states != len(states):
-        raise ValueError("state count does not match space layout")
+        raise InvalidSpecError("state count does not match space layout")
     counts: dict = {}
     result = ConstraintSet(list(states))
     full = (1 << n_states) - 1

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cubes import Space, absorb, complement, contains
+from ..runtime import InvalidSpecError, ParseError
 
 __all__ = ["Pla", "parse_pla", "format_pla"]
 
@@ -35,7 +36,7 @@ class Pla:
 
     def __post_init__(self) -> None:
         if self.n_inputs < 0 or self.n_outputs < 1:
-            raise ValueError("need n_inputs >= 0 and n_outputs >= 1")
+            raise InvalidSpecError("need n_inputs >= 0 and n_outputs >= 1")
         self.space = Space.binary(self.n_inputs, self.n_outputs)
 
     # ------------------------------------------------------------------
@@ -113,7 +114,7 @@ def parse_pla(text: str) -> Pla:
             key = parts[0]
             if key in (".i", ".o"):
                 if len(parts) < 2:
-                    raise ValueError(
+                    raise ParseError(
                         f"directive {key} needs an argument: {line!r}"
                     )
                 try:
@@ -122,7 +123,7 @@ def parse_pla(text: str) -> Pla:
                     else:
                         n_outputs = int(parts[1])
                 except ValueError as exc:
-                    raise ValueError(
+                    raise ParseError(
                         f"bad directive argument: {line!r}"
                     ) from exc
             elif key == ".ilb":
@@ -135,19 +136,19 @@ def parse_pla(text: str) -> Pla:
             chunks = line.split()
             if len(chunks) == 1:
                 if n_inputs is None:
-                    raise ValueError(".i must precede cube rows")
+                    raise ParseError(".i must precede cube rows")
                 in_part, out_part = chunks[0][:n_inputs], chunks[0][n_inputs:]
             else:
                 in_part = "".join(chunks[:-1])
                 out_part = chunks[-1]
             rows.append((in_part, out_part))
     if n_inputs is None or n_outputs is None:
-        raise ValueError("PLA missing .i or .o header")
+        raise ParseError("PLA missing .i or .o header")
     pla = Pla(n_inputs, n_outputs, input_labels=input_labels,
               output_labels=output_labels)
     for in_part, out_part in rows:
         if len(in_part) != n_inputs or len(out_part) != n_outputs:
-            raise ValueError(f"row width mismatch: {in_part} {out_part}")
+            raise ParseError(f"row width mismatch: {in_part} {out_part}")
         base = _parse_inputs(pla.space, in_part)
         on_field = 0
         dc_field = 0
@@ -159,7 +160,7 @@ def parse_pla(text: str) -> Pla:
             elif char == "0":
                 pass
             else:
-                raise ValueError(f"bad output char {char!r}")
+                raise ParseError(f"bad output char {char!r}")
         out_mask_part = pla.space.num_parts - 1
         if on_field:
             pla.onset.append(
@@ -178,7 +179,7 @@ def _parse_inputs(space: Space, chars: str) -> int:
         try:
             f = {"0": 0b01, "1": 0b10, "-": 0b11, "2": 0b11, "~": 0b11}[char]
         except KeyError:
-            raise ValueError(f"bad input char {char!r}")
+            raise ParseError(f"bad input char {char!r}")
         cube |= f << space.offsets[part]
     return cube
 

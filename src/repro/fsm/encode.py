@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cubes import Space
 from ..espresso import Pla
+from ..runtime import InvalidSpecError
 from .machine import DC_STATE, Fsm
 
 __all__ = ["fsm_to_symbolic_cover", "encode_fsm", "unused_code_cubes"]
@@ -128,11 +129,11 @@ def encode_fsm(
     states = fsm.states
     if set(codes) < set(states):
         missing = sorted(set(states) - set(codes))
-        raise ValueError(f"codes missing for states: {missing}")
+        raise InvalidSpecError(f"codes missing for states: {missing}")
     if n_bits is None:
         n_bits = max(max(codes[s] for s in states).bit_length(), 1)
     if len({codes[s] for s in states}) != len(states):
-        raise ValueError("state encoding is not injective")
+        raise InvalidSpecError("state encoding is not injective")
     n_in, n_out = fsm.n_inputs, fsm.n_outputs
     pla = Pla(n_in + n_bits, n_bits + n_out)
     space = pla.space

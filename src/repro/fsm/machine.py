@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..runtime import InvalidSpecError
+
 __all__ = ["Transition", "Fsm"]
 
 DC_STATE = "*"  # kiss don't-care next state
@@ -28,9 +30,9 @@ class Transition:
 
     def __post_init__(self) -> None:
         if set(self.inputs) - {"0", "1", "-"}:
-            raise ValueError(f"bad input field {self.inputs!r}")
+            raise InvalidSpecError(f"bad input field {self.inputs!r}")
         if set(self.outputs) - {"0", "1", "-"}:
-            raise ValueError(f"bad output field {self.outputs!r}")
+            raise InvalidSpecError(f"bad output field {self.outputs!r}")
 
 
 @dataclass
@@ -82,23 +84,23 @@ class Fsm:
         t = Transition(inputs, present, next_state, outputs)
         if self.transitions:
             if len(inputs) != self.n_inputs:
-                raise ValueError("inconsistent input width")
+                raise InvalidSpecError("inconsistent input width")
             if len(outputs) != self.n_outputs:
-                raise ValueError("inconsistent output width")
+                raise InvalidSpecError("inconsistent output width")
         self.transitions.append(t)
 
     def validate(self) -> None:
         """Raise ValueError on structural problems."""
         if not self.transitions:
-            raise ValueError(f"{self.name}: no transitions")
+            raise InvalidSpecError(f"{self.name}: no transitions")
         widths = {(len(t.inputs), len(t.outputs)) for t in self.transitions}
         if len(widths) != 1:
-            raise ValueError(f"{self.name}: inconsistent field widths")
+            raise InvalidSpecError(f"{self.name}: inconsistent field widths")
         mentioned = {t.present for t in self.transitions} | {
             t.next for t in self.transitions
         }
         if self.reset_state is not None and self.reset_state not in mentioned:
-            raise ValueError(f"{self.name}: unknown reset state")
+            raise InvalidSpecError(f"{self.name}: unknown reset state")
         # every state should be reachable as a present state target of
         # at least one transition or be the reset state; we only warn by
         # validation here when a next state never appears as present
@@ -155,11 +157,11 @@ class Fsm:
         return conflicts
 
     def check_deterministic(self) -> None:
-        """Raise ValueError when overlapping rows disagree."""
+        """Raise InvalidSpecError when overlapping rows disagree."""
         conflicts = self.conflicting_rows()
         if conflicts:
             a, b = conflicts[0]
-            raise ValueError(
+            raise InvalidSpecError(
                 f"{self.name}: nondeterministic rows for state "
                 f"{a.present}: ({a.inputs} -> {a.next}/{a.outputs}) vs "
                 f"({b.inputs} -> {b.next}/{b.outputs})"

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..runtime import InvalidSpecError
+
 from .machine import DC_STATE, Fsm, Transition
 
 __all__ = ["reduce_states", "equivalent_state_classes", "ReductionResult"]
@@ -51,20 +53,20 @@ def _behavior(fsm: Fsm, state: str, inputs: str) -> Tuple[str, str]:
     for t in fsm.transitions_from(state):
         if all(p in ("-", ch) for p, ch in zip(t.inputs, inputs)):
             return t.next, t.outputs
-    raise ValueError(
+    raise InvalidSpecError(
         f"{fsm.name}: state {state} has no row for input {inputs}"
     )
 
 
 def _check_supported(fsm: Fsm) -> None:
     if not fsm.completely_specified():
-        raise ValueError(
+        raise InvalidSpecError(
             f"{fsm.name} is incompletely specified; partition "
             "refinement requires a completely specified machine"
         )
     for t in fsm.transitions:
         if t.next == DC_STATE or "-" in t.outputs:
-            raise ValueError(
+            raise InvalidSpecError(
                 f"{fsm.name} has don't-care behaviour; partition "
                 "refinement requires fully specified rows"
             )

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..espresso import Pla
+from ..runtime import InvalidSpecError
 from .machine import DC_STATE, Fsm
 
 __all__ = [
@@ -50,7 +51,7 @@ class SymbolicSimulator:
         co-simulation skips checking that step.
         """
         if len(inputs) != self.fsm.n_inputs:
-            raise ValueError("input width mismatch")
+            raise InvalidSpecError("input width mismatch")
         for t in self.fsm.transitions_from(self.state):
             if all(p in ("-", i) for p, i in zip(t.inputs, inputs)):
                 if t.next == DC_STATE:
@@ -73,7 +74,7 @@ class EncodedSimulator:
         reset_code: int,
     ) -> None:
         if pla.n_inputs != n_inputs + n_state_bits:
-            raise ValueError("PLA shape does not match machine shape")
+            raise InvalidSpecError("PLA shape does not match machine shape")
         self.pla = pla
         self.n_inputs = n_inputs
         self.n_state_bits = n_state_bits

@@ -28,6 +28,8 @@ import random
 import zlib
 from typing import Dict, List, Sequence, Tuple
 
+from ..runtime import InvalidSpecError
+
 from .machine import Fsm
 
 __all__ = ["synthesize_fsm"]
@@ -43,7 +45,7 @@ def synthesize_fsm(
 ) -> Fsm:
     """Generate a deterministic synthetic FSM with the given interface."""
     if n_states < 1:
-        raise ValueError("need at least one state")
+        raise InvalidSpecError("need at least one state")
     if n_terms < n_states:
         n_terms = n_states
     # zlib.crc32 is stable across processes (str.__hash__ is salted)

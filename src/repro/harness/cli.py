@@ -11,6 +11,8 @@ Commands
 * ``profile <target>`` — run one state assignment under the tracer
   and print the per-phase timing/counter profile.
 * ``bench-list`` — list the registered benchmark machines.
+* ``lint`` — run the project's static invariant checks
+  (:mod:`repro.analysis`) over the source tree.
 
 Robustness: the experiment commands take ``--timeout SECONDS`` (per
 solver) and ``--resume PATH`` (JSON checkpoint; created on first use,
@@ -171,6 +173,16 @@ def _build_parser() -> argparse.ArgumentParser:
     add_obs_flags(p9)
 
     sub.add_parser("bench-list", help="list benchmark machines")
+
+    from ..analysis.cli import add_lint_arguments
+
+    p10 = sub.add_parser(
+        "lint",
+        help="check the source tree against the repo's static "
+             "invariants (budget threading, span hygiene, error "
+             "taxonomy, determinism, registry conformance)",
+    )
+    add_lint_arguments(p10)
     return parser
 
 
@@ -195,6 +207,10 @@ def _maybe_json(report, path: Optional[str]) -> None:
 
 def _dispatch(args: argparse.Namespace) -> int:
     profile = getattr(args, "profile", False)
+    if args.command == "lint":
+        from ..analysis.cli import run_lint
+
+        return run_lint(args)
     if args.command == "table1":
         fsms = args.fsm or (QUICK_FSMS if args.quick else None)
         report = run_table1(

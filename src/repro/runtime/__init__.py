@@ -24,6 +24,8 @@ from .errors import (
     BudgetExceeded,
     CheckpointError,
     InfeasibleError,
+    InvalidSpecError,
+    InvariantViolation,
     ParseError,
     ReproError,
     SolverTimeout,
@@ -37,6 +39,8 @@ __all__ = [
     "BudgetExceeded",
     "CheckpointError",
     "InfeasibleError",
+    "InvalidSpecError",
+    "InvariantViolation",
     "ParseError",
     "ReproError",
     "SolverTimeout",

@@ -16,7 +16,9 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ParseError",
+    "InvalidSpecError",
     "InfeasibleError",
+    "InvariantViolation",
     "BudgetExceeded",
     "SolverTimeout",
     "CheckpointError",
@@ -31,9 +33,24 @@ class ParseError(ReproError, ValueError):
     """Malformed input text (KISS2, PLA, cube strings, ...)."""
 
 
+class InvalidSpecError(ReproError, ValueError):
+    """A problem specification or solver option is invalid (bad
+    variant name, inconsistent widths, duplicate symbols, ...).
+
+    Distinct from :class:`ParseError` (malformed *text*) and
+    :class:`InfeasibleError` (well-formed but unsolvable)."""
+
+
 class InfeasibleError(ReproError, ValueError):
     """The requested problem has no solution (e.g. code length too
     small to distinguish the symbols)."""
+
+
+class InvariantViolation(ReproError, RuntimeError):
+    """An internal solver invariant broke mid-run — a bug in this
+    package, not in the caller's input.  Raised instead of a bare
+    ``RuntimeError`` so harness isolation reports it as FAILED with
+    the structured taxonomy."""
 
 
 class BudgetExceeded(ReproError, RuntimeError):

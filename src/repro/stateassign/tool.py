@@ -25,7 +25,7 @@ from typing import Any, Dict, Optional
 from ..core import PicolaOptions
 from ..encoding import ConstraintSet, Encoding, derive_face_constraints
 from ..obs import resolve_tracer
-from ..runtime import Budget
+from ..runtime import Budget, InvalidSpecError
 from ..espresso import EspressoStats, Pla, espresso_pla
 from ..fsm import Fsm, encode_fsm
 from ..solvers import get_solver
@@ -118,7 +118,7 @@ def _encode(
     try:
         solver_name, fixed = _METHOD_SOLVERS[method]
     except KeyError:
-        raise ValueError(
+        raise InvalidSpecError(
             f"unknown method {method!r}; choose from {METHODS}"
         ) from None
     options: Dict[str, Any] = dict(fixed)

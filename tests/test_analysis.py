@@ -65,3 +65,441 @@ class TestAnalyzeResult:
                 result.encoding, diag.constraint
             )
             assert exact <= diag.theorem1_cubes
+
+
+# ---------------------------------------------------------------------------
+# repro.analysis — the static-analysis framework (PR 4)
+# ---------------------------------------------------------------------------
+
+import json
+import warnings
+from pathlib import Path
+
+import repro
+from repro.analysis import (
+    Baseline,
+    DEFAULT_RULES,
+    Finding,
+    analyze,
+    rules_by_id,
+    split_by_baseline,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.report import JSON_SCHEMA_VERSION
+
+
+def _tree(tmp_path, files):
+    """Write ``{relpath: source}`` under a fake ``repro`` package."""
+    root = tmp_path / "repro"
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return root
+
+
+def _lint(tmp_path, files):
+    report = analyze(_tree(tmp_path, files), DEFAULT_RULES())
+    return report
+
+
+GOOD_BUDGET = """\
+def solve(cover, *, budget=None):
+    out = []
+    for c in cover:
+        if budget is not None:
+            budget.tick(where="solve")
+        out.append(espresso(c))
+    return out
+
+def forwards(cover, *, budget=None):
+    return [espresso(c, budget=budget) for c in cover]
+"""
+
+BAD_BUDGET = """\
+def solve(cover, *, budget=None):
+    out = []
+    for c in cover:
+        out.append(espresso(c))
+    return out
+"""
+
+
+class TestRuleFixtures:
+    """One good/bad fixture pair per rule family."""
+
+    def test_budget_threading_true_positive(self, tmp_path):
+        report = _lint(tmp_path, {"core/k.py": BAD_BUDGET})
+        (finding,) = report.findings_for("RPA001")
+        assert finding.path == "repro/core/k.py"
+        assert "budget" in finding.message
+
+    def test_budget_threading_clean(self, tmp_path):
+        report = _lint(tmp_path, {"core/k.py": GOOD_BUDGET})
+        assert report.findings_for("RPA001") == []
+
+    def test_budget_rule_ignores_out_of_scope(self, tmp_path):
+        report = _lint(tmp_path, {"harness/k.py": BAD_BUDGET})
+        assert report.findings_for("RPA001") == []
+
+    def test_span_hygiene_true_positive(self, tmp_path):
+        bad = "span = tracer.span('picola/encode')\nspan.__enter__()\n"
+        report = _lint(tmp_path, {"core/s.py": bad})
+        assert report.findings_for("RPA002")
+
+    def test_span_hygiene_clean(self, tmp_path):
+        good = "with tracer.span('picola/encode'):\n    pass\n"
+        report = _lint(tmp_path, {"core/s.py": good})
+        assert report.findings_for("RPA002") == []
+
+    def test_span_hygiene_exempts_obs(self, tmp_path):
+        bad = "span = tracer.span('x')\n"
+        report = _lint(tmp_path, {"obs/tracer.py": bad})
+        assert report.findings_for("RPA002") == []
+
+    def test_except_hygiene_true_positive(self, tmp_path):
+        bad = (
+            "try:\n    work()\nexcept Exception:\n    pass\n"
+        )
+        report = _lint(tmp_path, {"harness/h.py": bad})
+        (finding,) = report.findings_for("RPA003")
+        assert "swallows" in finding.message
+
+    def test_except_hygiene_reraise_is_clean(self, tmp_path):
+        good = (
+            "try:\n    work()\n"
+            "except Exception as exc:\n"
+            "    raise WrapperError(str(exc)) from exc\n"
+        )
+        report = _lint(tmp_path, {"harness/h.py": good})
+        assert report.findings_for("RPA003") == []
+
+    def test_raise_taxonomy_true_positive(self, tmp_path):
+        bad = "def f(x):\n    raise ValueError('bad x')\n"
+        report = _lint(tmp_path, {"fsm/m.py": bad})
+        (finding,) = report.findings_for("RPA004")
+        assert "ValueError" in finding.message
+
+    def test_raise_taxonomy_clean_on_taxonomy_class(self, tmp_path):
+        good = "def f(x):\n    raise InvalidSpecError('bad x')\n"
+        report = _lint(tmp_path, {"fsm/m.py": good})
+        assert report.findings_for("RPA004") == []
+
+    def test_raise_taxonomy_ignores_non_solver_code(self, tmp_path):
+        bad = "def f(x):\n    raise ValueError('bad x')\n"
+        report = _lint(tmp_path, {"harness/cli2.py": bad})
+        assert report.findings_for("RPA004") == []
+
+    def test_determinism_true_positive_random(self, tmp_path):
+        bad = "import random\n\ndef pick(xs):\n    return random.choice(xs)\n"
+        report = _lint(tmp_path, {"baselines/b.py": bad})
+        (finding,) = report.findings_for("RPA005")
+        assert "unseeded" in finding.message
+
+    def test_determinism_true_positive_set_iteration(self, tmp_path):
+        bad = "def f(xs):\n    for x in set(xs):\n        use(x)\n"
+        report = _lint(tmp_path, {"core/d.py": bad})
+        (finding,) = report.findings_for("RPA005")
+        assert "PYTHONHASHSEED" in finding.message
+
+    def test_determinism_clean(self, tmp_path):
+        good = (
+            "import random\n\n"
+            "def pick(xs, seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.choice(sorted(set(xs)))\n"
+        )
+        report = _lint(tmp_path, {"baselines/b.py": good})
+        assert report.findings_for("RPA005") == []
+
+    def test_registry_conformance_true_positive(self, tmp_path):
+        bad = "def rogue_encode(cset, nv):\n    return None\n"
+        report = _lint(tmp_path, {"baselines/rogue.py": bad})
+        findings = report.findings_for("RPA006")
+        assert findings and "budget" in findings[0].message
+
+    def test_registry_conformance_unregistered(self, tmp_path):
+        files = {
+            "baselines/rogue.py": (
+                "def rogue_encode(cset, *, budget=None, tracer=None):\n"
+                "    return None\n"
+            ),
+            "solvers.py": "REGISTRY = {}\n",
+        }
+        report = _lint(tmp_path, files)
+        (finding,) = report.findings_for("RPA006")
+        assert "not referenced" in finding.message
+
+    def test_registry_conformance_clean(self, tmp_path):
+        files = {
+            "baselines/rogue.py": (
+                "def rogue_encode(cset, *, budget=None, tracer=None):\n"
+                "    return None\n"
+            ),
+            "solvers.py": (
+                "from .baselines.rogue import rogue_encode\n"
+                "REGISTRY = {'rogue': rogue_encode}\n"
+            ),
+        }
+        report = _lint(tmp_path, files)
+        assert report.findings_for("RPA006") == []
+
+    def test_deprecated_positional_nv_true_positive(self, tmp_path):
+        bad = "def f(cset):\n    return exact_encode(cset, 3)\n"
+        report = _lint(tmp_path, {"harness/x.py": bad})
+        (finding,) = report.findings_for("RPA007")
+        assert "positional nv" in finding.message
+
+    def test_deprecated_positional_nv_keyword_clean(self, tmp_path):
+        good = "def f(cset):\n    return exact_encode(cset, nv=3)\n"
+        report = _lint(tmp_path, {"harness/x.py": good})
+        assert report.findings_for("RPA007") == []
+
+    def test_syntax_error_becomes_rpa000(self, tmp_path):
+        report = _lint(tmp_path, {"core/broken.py": "def f(:\n"})
+        (finding,) = report.findings_for("RPA000")
+        assert "syntax error" in finding.message
+
+
+class TestSuppressions:
+    def test_line_suppression_moves_finding_aside(self, tmp_path):
+        bad = (
+            "def f(x):\n"
+            "    raise ValueError('x')  "
+            "# repro: noqa[RPA004] -- legacy public contract\n"
+        )
+        report = _lint(tmp_path, {"fsm/m.py": bad})
+        assert report.findings == []
+        ((finding, sup),) = report.suppressed
+        assert finding.rule == "RPA004"
+        assert sup.justification == "legacy public contract"
+        assert report.unused_suppressions == []
+
+    def test_bare_noqa_suppresses_every_rule(self, tmp_path):
+        bad = "def f(x):\n    raise ValueError('x')  # repro: noqa\n"
+        report = _lint(tmp_path, {"fsm/m.py": bad})
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_file_level_suppression(self, tmp_path):
+        bad = (
+            "# repro: noqa-file[RPA004] -- generated shim\n"
+            "def f(x):\n    raise ValueError('x')\n"
+            "def g(x):\n    raise RuntimeError('x')\n"
+        )
+        report = _lint(tmp_path, {"fsm/m.py": bad})
+        assert report.findings == []
+        assert len(report.suppressed) == 2
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        bad = (
+            "def f(x):\n"
+            "    raise ValueError('x')  # repro: noqa[RPA001]\n"
+        )
+        report = _lint(tmp_path, {"fsm/m.py": bad})
+        assert report.findings_for("RPA004")
+        assert len(report.unused_suppressions) == 1
+
+    def test_unused_suppression_is_reported(self, tmp_path):
+        good = "X = 1  # repro: noqa[RPA004] -- nothing here\n"
+        report = _lint(tmp_path, {"fsm/m.py": good})
+        assert report.findings == []
+        (sup,) = report.unused_suppressions
+        assert sup.rules == ("RPA004",)
+
+
+class TestBaseline:
+    def _bad_report(self, tmp_path):
+        return _lint(tmp_path, {"fsm/m.py": "raise ValueError('x')\n"})
+
+    def test_round_trip(self, tmp_path):
+        report = self._bad_report(tmp_path)
+        baseline = Baseline.from_findings(report.findings)
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        loaded = Baseline.load(target)
+        new, matched, stale = split_by_baseline(
+            report.findings, loaded
+        )
+        assert new == [] and stale == []
+        assert len(matched) == len(report.findings) == 1
+
+    def test_fingerprint_survives_line_drift(self, tmp_path):
+        report = self._bad_report(tmp_path)
+        baseline = Baseline.from_findings(report.findings)
+        drifted = _lint(
+            tmp_path,
+            {"fsm/m.py": "# a new leading comment\n\nraise ValueError('x')\n"},
+        )
+        new, matched, stale = split_by_baseline(
+            drifted.findings, baseline
+        )
+        assert new == [] and stale == []
+        assert len(matched) == 1
+
+    def test_fixed_finding_goes_stale(self, tmp_path):
+        report = self._bad_report(tmp_path)
+        baseline = Baseline.from_findings(report.findings)
+        fixed = _lint(
+            tmp_path, {"fsm/m.py": "raise InvalidSpecError('x')\n"}
+        )
+        new, matched, stale = split_by_baseline(
+            fixed.findings, baseline
+        )
+        assert new == [] and matched == []
+        assert len(stale) == 1
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(target)
+
+
+class TestLintCli:
+    def test_bad_tree_exits_1_with_rule_ids(self, tmp_path, capsys):
+        root = _tree(tmp_path, {"fsm/m.py": "raise ValueError('x')\n"})
+        code = lint_main([str(root)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RPA004" in out
+        assert "repro/fsm/m.py:1:1" in out
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        code = lint_main([str(tmp_path / "nope")])
+        assert code == 2
+
+    def test_unreadable_baseline_exits_2(self, tmp_path, capsys):
+        root = _tree(tmp_path, {"fsm/m.py": "X = 1\n"})
+        bad = tmp_path / "b.json"
+        bad.write_text("{not json")
+        code = lint_main([str(root), "--baseline", str(bad)])
+        assert code == 2
+
+    def test_json_report_schema(self, tmp_path, capsys):
+        root = _tree(tmp_path, {"fsm/m.py": "raise ValueError('x')\n"})
+        code = lint_main([str(root), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["schema_version"] == JSON_SCHEMA_VERSION
+        assert set(doc) == {
+            "schema_version",
+            "strict",
+            "files_checked",
+            "baseline",
+            "findings",
+            "baselined",
+            "suppressed",
+            "stale_baseline_entries",
+            "unused_suppressions",
+            "exit_code",
+        }
+        (finding,) = doc["findings"]
+        assert set(finding) == {
+            "rule", "path", "line", "col", "message", "fingerprint",
+        }
+        assert finding["rule"] == "RPA004"
+        assert doc["exit_code"] == 1
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        root = _tree(tmp_path, {"fsm/m.py": "raise ValueError('x')\n"})
+        baseline = tmp_path / "b.json"
+        assert lint_main(
+            [str(root), "--baseline", str(baseline), "--update-baseline"]
+        ) == 0
+        capsys.readouterr()
+        assert lint_main(
+            [str(root), "--baseline", str(baseline), "--strict"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_strict_fails_on_stale_baseline(self, tmp_path, capsys):
+        root = _tree(tmp_path, {"fsm/m.py": "raise ValueError('x')\n"})
+        baseline = tmp_path / "b.json"
+        lint_main(
+            [str(root), "--baseline", str(baseline), "--update-baseline"]
+        )
+        (root / "fsm" / "m.py").write_text("X = 1\n")
+        assert lint_main(
+            [str(root), "--baseline", str(baseline)]
+        ) == 0  # stale debt tolerated by default
+        assert lint_main(
+            [str(root), "--baseline", str(baseline), "--strict"]
+        ) == 1
+
+    def test_strict_fails_on_unused_suppression(self, tmp_path, capsys):
+        root = _tree(
+            tmp_path, {"fsm/m.py": "X = 1  # repro: noqa[RPA004]\n"}
+        )
+        assert lint_main([str(root)]) == 0
+        assert lint_main([str(root), "--strict"]) == 1
+
+    def test_list_rules_covers_catalog(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in rules_by_id():
+            assert rule_id in out
+
+    def test_picola_lint_subcommand(self, capsys):
+        from repro.harness.cli import main as picola_main
+
+        assert picola_main(["lint", "--list-rules"]) == 0
+        assert "RPA001" in capsys.readouterr().out
+
+
+class TestSelfCheck:
+    """The shipped tree must hold its own invariants."""
+
+    def test_package_is_strict_clean(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)  # ignore any cwd baseline
+        assert lint_main(["--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_every_rule_has_id_and_rationale(self):
+        for rule_id, cls in rules_by_id().items():
+            assert rule_id.startswith("RPA")
+            entry = cls.catalog_entry()
+            assert entry["title"] and entry["rationale"]
+
+    def test_finding_fingerprint_is_stable(self):
+        a = Finding("RPA004", "repro/x.py", 3, 1, "m", "raise ValueError")
+        b = Finding("RPA004", "repro/x.py", 9, 1, "m", "raise ValueError")
+        c = Finding("RPA004", "repro/x.py", 3, 1, "m", "raise KeyError")
+        assert a.fingerprint == b.fingerprint != c.fingerprint
+
+
+class TestDeprecationStacklevel:
+    """The positional-nv warning must point at the *caller* (satellite:
+    stacklevel=2), so external users see their own file in the message."""
+
+    def _cset(self):
+        syms = [f"s{i}" for i in range(4)]
+        return ConstraintSet(
+            syms, [FaceConstraint({"s0", "s1"})]
+        )
+
+    def test_exact_encode_warning_points_here(self):
+        from repro.encoding.exact import exact_encode
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            exact_encode(self._cset(), 2)
+        dep = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert dep and dep[0].filename == __file__
+
+    def test_nova_encode_warning_points_here(self):
+        from repro.baselines.nova import nova_encode
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            nova_encode(self._cset(), 2)
+        dep = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert dep and dep[0].filename == __file__
