@@ -1,0 +1,61 @@
+"""Benchmark the parallel experiment engine against the serial path.
+
+Times a 10-row Table I regeneration at ``jobs=1`` vs ``jobs=cpu_count``
+and asserts the speedup acceptance criterion (>= 2x on a 4-core
+runner).  The timing test is skipped on narrower machines — a 1- or
+2-core box cannot meaningfully demonstrate pool scaling — but the
+correctness cross-check (identical tables) runs everywhere.
+
+Run:  pytest benchmarks/test_parallel.py --benchmark-only
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.harness import QUICK_FSMS, run_table1
+
+FSMS = QUICK_FSMS[:10]
+
+
+def _timed(jobs):
+    t0 = time.perf_counter()
+    report = run_table1(FSMS, include_enc=False, jobs=jobs)
+    return report, time.perf_counter() - t0
+
+
+def test_parallel_matches_serial_output(benchmark):
+    """Correctness under load: jobs=0 renders the identical table."""
+    serial = run_table1(FSMS, include_enc=False)
+
+    def run():
+        return run_table1(FSMS, include_enc=False, jobs=0)
+
+    par = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert par.render() == serial.render()
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup criterion is defined for a 4-core runner",
+)
+def test_parallel_speedup(benchmark):
+    """>= 2x wall-clock speedup for a 10-row table on >= 4 cores."""
+    # warm caches (benchmark loaders, solver imports) off the clock
+    run_table1(FSMS[:1], include_enc=False)
+
+    def run():
+        serial_report, t_serial = _timed(jobs=1)
+        par_report, t_par = _timed(jobs=0)
+        assert par_report.render() == serial_report.render()
+        return t_serial, t_par
+
+    t_serial, t_par = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = t_serial / t_par
+    print(
+        f"\n[parallel] 10-row table1: serial {t_serial:.2f}s, "
+        f"jobs=0 {t_par:.2f}s, speedup {speedup:.2f}x "
+        f"({os.cpu_count()} cores)"
+    )
+    assert speedup >= 2.0

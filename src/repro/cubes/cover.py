@@ -80,6 +80,7 @@ class Cover:
         return cover_contains_cube(self.space, self.cubes, cube)
 
     def contains_cover(self, other: "Cover") -> bool:
+        self._check_space(other)
         return all(self.contains_cube(c) for c in other.cubes)
 
     def equivalent(self, other: "Cover") -> bool:
@@ -95,6 +96,7 @@ class Cover:
         return Cover(self.space, absorb(list(self.cubes)))
 
     def intersected(self, other: "Cover") -> "Cover":
+        self._check_space(other)
         result: List[int] = []
         for a in self.cubes:
             for b in other.cubes:
@@ -121,7 +123,6 @@ class Cover:
         return self.union(other)
 
     def __and__(self, other: "Cover") -> "Cover":
-        self._check_space(other)
         return self.intersected(other)
 
     def __sub__(self, other: "Cover") -> "Cover":

@@ -1,6 +1,7 @@
 """Experiment harness: regenerate the paper's tables and ablations."""
 
 from .ablation import ABLATION_VARIANTS, AblationReport, run_ablation
+from .parallel import Unit, resolve_jobs, run_units
 from .report import render_table
 from .table1 import QUICK_FSMS, Table1Report, Table1Row, run_table1
 from .serialize import to_dict, to_json
@@ -24,4 +25,7 @@ __all__ = [
     "to_json",
     "SeedSweepReport",
     "run_seed_sweep",
+    "Unit",
+    "resolve_jobs",
+    "run_units",
 ]

@@ -27,8 +27,9 @@ from ..core import PicolaOptions
 from ..encoding import derive_face_constraints, evaluate_encoding
 from ..fsm import load_benchmark
 from ..runtime import Budget, BudgetExceeded, Checkpoint, SolverTimeout, faults
-from ..runtime.isolation import run_isolated
+from ..runtime.checkpoint import payload_failed, resumable
 from ..solvers import get_solver
+from .parallel import Unit, run_units
 from .report import render_table
 from .table1 import QUICK_FSMS
 
@@ -191,6 +192,8 @@ def run_ablation(
     exact_nodes: int = 250_000,
     timeout: Optional[float] = None,
     checkpoint: Optional[Union[str, pathlib.Path, Checkpoint]] = None,
+    jobs: int = 1,
+    retry_failed: bool = False,
 ) -> AblationReport:
     if fsms is None:
         fsms = QUICK_FSMS
@@ -206,9 +209,31 @@ def run_ablation(
             else Checkpoint(checkpoint, experiment="ablation")
         )
     report = AblationReport(variants=variants)
+    resumed: Dict[str, Dict[str, Any]] = {}
+    units: List[Unit] = []
     for name in fsms:
-        if ckpt is not None and ckpt.is_done(name):
-            payload = ckpt.get(name)
+        payload = resumable(ckpt, name, retry_failed)
+        if payload is not None:
+            resumed[name] = payload
+        else:
+            units.append(Unit(
+                key=name, fn=_ablation_cells, args=(name, variants),
+                kwargs=dict(timeout=timeout, exact_nodes=exact_nodes),
+            ))
+    outcomes = run_units(units, jobs=jobs)
+    for name in fsms:
+        if name in resumed:
+            payload = resumed[name]
+            if payload_failed(payload):
+                reason = payload.get("reason") or payload["status"]
+                report.failures[name] = reason
+                if verbose:
+                    print(
+                        f"{name}: FAILED ({reason}, resumed from "
+                        "checkpoint)",
+                        flush=True,
+                    )
+                continue
             report.cubes[name] = dict(payload.get("cubes", {}))
             report.satisfied[name] = dict(payload.get("satisfied", {}))
             report.seconds[name] = dict(payload.get("seconds", {}))
@@ -219,12 +244,15 @@ def run_ablation(
             if verbose:
                 print(f"{name}: resumed from checkpoint", flush=True)
             continue
-        outcome = run_isolated(
-            _ablation_cells, name, variants,
-            timeout=timeout, exact_nodes=exact_nodes, label=name,
-        )
+        outcome = next(outcomes)
         if not outcome.ok:
             report.failures[name] = outcome.reason
+            if ckpt is not None:
+                ckpt.mark_done(name, {
+                    "status": outcome.status,
+                    "reason": outcome.reason,
+                    "error": outcome.error,
+                })
             if verbose:
                 print(
                     f"{name}: FAILED ({outcome.reason})", flush=True

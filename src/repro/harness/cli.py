@@ -15,8 +15,12 @@ Commands
   (:mod:`repro.analysis`) over the source tree.
 
 Robustness: the experiment commands take ``--timeout SECONDS`` (per
-solver) and ``--resume PATH`` (JSON checkpoint; created on first use,
-reused to skip completed benchmarks).  Structured failures
+solver), ``--resume PATH`` (JSON checkpoint; created on first use,
+reused to skip completed benchmarks — failed ones included, unless
+``--retry-failed``) and ``--jobs N`` (process-pool parallelism over
+benchmark units, ``0`` = all cores, with deterministic
+submission-order merging so output matches a serial run
+byte-for-byte).  Structured failures
 (:class:`~repro.runtime.ReproError`) and I/O errors print a one-line
 diagnostic and exit with code 2; an experiment that completes but
 contains failed rows exits with code 1.
@@ -64,6 +68,12 @@ def _build_parser() -> argparse.ArgumentParser:
             raise argparse.ArgumentTypeError("must be >= 0")
         return value
 
+    def nonneg_int(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError("must be >= 0")
+        return value
+
     def add_runtime_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--timeout", type=nonneg_seconds, default=None,
@@ -73,8 +83,20 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--resume", default=None, metavar="PATH",
-            help="JSON checkpoint file; completed benchmarks are "
-                 "skipped on re-runs",
+            help="JSON checkpoint file; completed benchmarks "
+                 "(failed ones included) are skipped on re-runs",
+        )
+        p.add_argument(
+            "--retry-failed", action="store_true",
+            help="with --resume: re-run benchmarks whose "
+                 "checkpointed outcome was a failure",
+        )
+        p.add_argument(
+            "--jobs", type=nonneg_int, default=1, metavar="N",
+            help="worker processes for benchmark units (default 1 = "
+                 "serial, 0 = all CPU cores); results are merged "
+                 "deterministically, output is identical to a "
+                 "serial run",
         )
 
     def add_json_flag(p: argparse.ArgumentParser) -> None:
@@ -216,6 +238,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         report = run_table1(
             fsms, include_enc=not args.no_enc, verbose=True,
             timeout=args.timeout, checkpoint=args.resume,
+            jobs=args.jobs, retry_failed=args.retry_failed,
         )
         print(report.render(profile=profile))
         _maybe_json(report, args.json)
@@ -225,6 +248,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         report = run_table2(
             fsms, verbose=True,
             timeout=args.timeout, checkpoint=args.resume,
+            jobs=args.jobs, retry_failed=args.retry_failed,
         )
         print(report.render(profile=profile))
         _maybe_json(report, args.json)
@@ -233,6 +257,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         report = run_ablation(
             args.fsm, verbose=True, include_exact=args.exact,
             timeout=args.timeout, checkpoint=args.resume,
+            jobs=args.jobs, retry_failed=args.retry_failed,
         )
         print(report.render(profile=profile))
         _maybe_json(report, args.json)
@@ -294,6 +319,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         report = run_seed_sweep(
             args.fsm, seeds=tuple(args.seeds), verbose=True,
             timeout=args.timeout, checkpoint=args.resume,
+            jobs=args.jobs, retry_failed=args.retry_failed,
         )
         print(report.render())
         _maybe_json(report, args.json)

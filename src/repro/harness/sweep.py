@@ -24,8 +24,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..encoding import derive_face_constraints, evaluate_encoding
 from ..fsm import BENCHMARKS, load_benchmark
 from ..runtime import Budget, Checkpoint, faults
-from ..runtime.isolation import run_isolated
+from ..runtime.checkpoint import payload_failed, resumable
 from ..solvers import get_solver
+from .parallel import Unit, run_units
 from .report import render_table
 from .table1 import QUICK_FSMS
 
@@ -152,13 +153,17 @@ def run_seed_sweep(
     verbose: bool = False,
     timeout: Optional[float] = None,
     checkpoint: Optional[Union[str, pathlib.Path, Checkpoint]] = None,
+    jobs: int = 1,
+    retry_failed: bool = False,
 ) -> SeedSweepReport:
     """Re-run the quick Table I comparison for several FSM draws.
 
-    ``checkpoint`` records every completed ``seed/fsm`` cell so a
-    killed sweep resumes from the last finished benchmark; failed
-    benchmarks are recorded in ``report.failures`` and excluded from
-    the per-seed totals.
+    ``checkpoint`` records every completed ``seed/fsm`` cell —
+    including failed ones, which resume as recorded failures unless
+    ``retry_failed`` forces a re-run — so a killed sweep resumes from
+    the last finished benchmark.  ``jobs`` fans the independent cells
+    out to worker processes; results merge in submission order, so
+    totals and the rendered table match a serial run exactly.
     """
     if fsms is None:
         fsms = [f for f in QUICK_FSMS if BENCHMARKS[f].source != "file"]
@@ -169,21 +174,48 @@ def run_seed_sweep(
             else Checkpoint(checkpoint, experiment="sweep")
         )
     report = SeedSweepReport(fsms=list(fsms))
+    resumed: Dict[str, Dict] = {}
+    units: List[Unit] = []
+    for seed in seeds:
+        for name in fsms:
+            key = f"{seed}/{name}"
+            payload = resumable(ckpt, key, retry_failed)
+            if payload is not None:
+                resumed[key] = payload
+            else:
+                units.append(Unit(
+                    key=key, fn=_sweep_cell,
+                    args=(name, seed, nova_seed, timeout),
+                ))
+    outcomes = run_units(units, jobs=jobs)
     for seed in seeds:
         total_p = total_n = wins_p = wins_n = ties = 0
         for name in fsms:
             key = f"{seed}/{name}"
-            if ckpt is not None and ckpt.is_done(key):
-                cell = ckpt.get(key)
+            if key in resumed:
+                cell = resumed[key]
+                if payload_failed(cell):
+                    reason = cell.get("reason") or cell["status"]
+                    report.failures[(seed, name)] = reason
+                    if verbose:
+                        print(
+                            f"{key}: FAILED ({reason}, resumed from "
+                            "checkpoint)",
+                            flush=True,
+                        )
+                    continue
                 if verbose:
                     print(f"{key}: resumed from checkpoint", flush=True)
             else:
-                outcome = run_isolated(
-                    _sweep_cell, name, seed, nova_seed, timeout,
-                    label=key,
-                )
+                outcome = next(outcomes)
                 if not outcome.ok:
                     report.failures[(seed, name)] = outcome.reason
+                    if ckpt is not None:
+                        ckpt.mark_done(key, {
+                            "status": outcome.status,
+                            "reason": outcome.reason,
+                            "error": outcome.error,
+                        })
                     if verbose:
                         print(
                             f"{key}: FAILED ({outcome.reason})",

@@ -14,7 +14,11 @@ Every benchmark runs behind the :mod:`repro.runtime` fault boundary:
 an FSM whose solvers crash or exceed the optional per-solver
 ``timeout`` yields a ``FAILED (<reason>)`` row (or a ``TIMEOUT`` ENC
 cell) while the rest of the table completes, and a ``checkpoint``
-path makes long runs resumable after a kill.
+path makes long runs resumable after a kill (failed rows are
+checkpointed with their status; ``retry_failed`` re-runs them).
+Rows are independent, so ``jobs`` fans them out over the
+:mod:`repro.harness.parallel` process pool with deterministic,
+submission-order merging.
 """
 
 from __future__ import annotations
@@ -27,8 +31,9 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from ..encoding import derive_face_constraints, evaluate_encoding
 from ..fsm import BENCHMARKS, TABLE1_FSMS, load_benchmark
 from ..runtime import Budget, BudgetExceeded, Checkpoint, SolverTimeout, faults
-from ..runtime.isolation import run_isolated
+from ..runtime.checkpoint import resumable
 from ..solvers import get_solver
+from .parallel import Unit, run_units
 from .report import render_table
 
 __all__ = ["Table1Row", "Table1Report", "run_table1", "QUICK_FSMS"]
@@ -351,14 +356,20 @@ def run_table1(
     verbose: bool = False,
     timeout: Optional[float] = None,
     checkpoint: Optional[Union[str, pathlib.Path, Checkpoint]] = None,
+    jobs: int = 1,
+    retry_failed: bool = False,
 ) -> Table1Report:
     """Regenerate Table I over the given FSM list (default: all rows).
 
     ``timeout`` is a per-solver wall-clock limit in seconds; a PICOLA
     or NOVA timeout fails the row gracefully, an ENC timeout only
     marks the ENC cell.  ``checkpoint`` (path or
-    :class:`~repro.runtime.Checkpoint`) records each completed row so
-    an interrupted run resumes from the last finished benchmark.
+    :class:`~repro.runtime.Checkpoint`) records each row — failed
+    ones included — so an interrupted run resumes from the last
+    finished benchmark; ``retry_failed`` forces checkpointed failures
+    to re-run.  ``jobs`` fans rows out to worker processes
+    (0 = all cores) with results merged in submission order, so the
+    report is identical to a serial run.
     """
     if fsms is None:
         fsms = TABLE1_FSMS
@@ -369,19 +380,29 @@ def run_table1(
             else Checkpoint(checkpoint, experiment="table1")
         )
     report = Table1Report()
+    resumed: Dict[str, Any] = {}
+    units: List[Unit] = []
     for name in fsms:
-        if ckpt is not None and ckpt.is_done(name):
-            row = Table1Row.from_dict(ckpt.get(name))
+        payload = resumable(ckpt, name, retry_failed)
+        if payload is not None:
+            resumed[name] = payload
+        else:
+            units.append(Unit(
+                key=name, fn=_table1_row, args=(name,),
+                kwargs=dict(
+                    include_enc=include_enc, enc_budget=enc_budget,
+                    seed=seed, timeout=timeout,
+                ),
+            ))
+    outcomes = run_units(units, jobs=jobs)
+    for name in fsms:
+        if name in resumed:
+            row = Table1Row.from_dict(resumed[name])
             report.rows.append(row)
             if verbose:
                 print(f"{name}: resumed from checkpoint", flush=True)
             continue
-        outcome = run_isolated(
-            _table1_row, name,
-            include_enc=include_enc, enc_budget=enc_budget,
-            seed=seed, timeout=timeout,
-            label=name,
-        )
+        outcome = next(outcomes)
         if outcome.ok:
             row = outcome.value
         else:
@@ -389,7 +410,7 @@ def run_table1(
                 fsm=name, status=outcome.status, error=outcome.error
             )
         report.rows.append(row)
-        if ckpt is not None and row.ok:
+        if ckpt is not None:
             ckpt.mark_done(name, row.to_dict())
         if verbose:
             if row.ok:

@@ -22,8 +22,9 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from ..encoding import derive_face_constraints
 from ..fsm import TABLE2_FSMS, load_benchmark
 from ..runtime import Budget, BudgetExceeded, Checkpoint, SolverTimeout, faults
-from ..runtime.isolation import run_isolated
+from ..runtime.checkpoint import resumable
 from ..stateassign import assign_states
+from .parallel import Unit, run_units
 from .report import render_table
 
 __all__ = ["Table2Row", "Table2Report", "run_table2", "QUICK_FSMS2"]
@@ -222,12 +223,16 @@ def run_table2(
     verbose: bool = False,
     timeout: Optional[float] = None,
     checkpoint: Optional[Union[str, pathlib.Path, Checkpoint]] = None,
+    jobs: int = 1,
+    retry_failed: bool = False,
 ) -> Table2Report:
     """Regenerate Table II over the given FSM list (default: all rows).
 
     ``timeout`` bounds each method's wall clock (a blown deadline
     renders a ``TIMEOUT`` cell); ``checkpoint`` makes the run
-    resumable after a kill.
+    resumable after a kill, failed rows included (``retry_failed``
+    re-runs them).  ``jobs`` parallelizes rows over worker processes
+    with deterministic submission-order merging.
     """
     if fsms is None:
         fsms = TABLE2_FSMS
@@ -238,15 +243,25 @@ def run_table2(
             else Checkpoint(checkpoint, experiment="table2")
         )
     report = Table2Report()
+    resumed: Dict[str, Any] = {}
+    units: List[Unit] = []
     for name in fsms:
-        if ckpt is not None and ckpt.is_done(name):
-            report.rows.append(Table2Row.from_dict(ckpt.get(name)))
+        payload = resumable(ckpt, name, retry_failed)
+        if payload is not None:
+            resumed[name] = payload
+        else:
+            units.append(Unit(
+                key=name, fn=_table2_row, args=(name,),
+                kwargs=dict(seed=seed, timeout=timeout),
+            ))
+    outcomes = run_units(units, jobs=jobs)
+    for name in fsms:
+        if name in resumed:
+            report.rows.append(Table2Row.from_dict(resumed[name]))
             if verbose:
                 print(f"{name}: resumed from checkpoint", flush=True)
             continue
-        outcome = run_isolated(
-            _table2_row, name, seed=seed, timeout=timeout, label=name
-        )
+        outcome = next(outcomes)
         if outcome.ok:
             row = outcome.value
         else:
@@ -254,7 +269,7 @@ def run_table2(
                 fsm=name, status=outcome.status, error=outcome.error
             )
         report.rows.append(row)
-        if ckpt is not None and row.ok:
+        if ckpt is not None:
             ckpt.mark_done(name, row.to_dict())
         if verbose:
             if row.ok:

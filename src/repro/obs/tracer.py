@@ -133,6 +133,15 @@ class NullTracer:
     def timings(self) -> Dict[str, Histogram]:
         return {}
 
+    def adopt(
+        self,
+        spans: Any,
+        counters: Optional[Dict[str, int]] = None,
+        gauges: Optional[Dict[str, Dict[str, float]]] = None,
+        root: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        pass
+
     def close(self) -> None:
         pass
 
@@ -251,6 +260,69 @@ class Tracer:
                 g["min"] = value
             if value > g["max"]:
                 g["max"] = value
+
+    # -- adoption of foreign (worker-process) events --------------------
+    def adopt(
+        self,
+        spans: Any,
+        counters: Optional[Dict[str, int]] = None,
+        gauges: Optional[Dict[str, Dict[str, float]]] = None,
+        root: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Absorb events recorded by *another* tracer — typically one
+        that lived in a worker process of the parallel harness engine.
+
+        ``spans`` are raw span event dicts (the :class:`MemorySink`
+        shape); they are re-emitted to this tracer's sinks with their
+        depth shifted under the current stack and, when ``root`` is
+        given, orphan spans re-parented to ``root["name"]``.  ``root``
+        itself (a synthetic span event, e.g. one ``parallel/unit`` per
+        benchmark) is emitted last, matching the spans-close-inside-out
+        ordering sinks already expect.  Span durations feed the same
+        per-name histograms as native spans, and ``counters`` /
+        ``gauges`` aggregates merge into this tracer's, so
+        ``--profile`` reports are whole-run coherent regardless of
+        which process did the work.
+        """
+        base = len(self._stack)
+        shift = base + (1 if root is not None else 0)
+        root_name = root["name"] if root is not None else None
+        events: List[Dict[str, Any]] = []
+        for event in spans:
+            ev = dict(event)
+            ev["depth"] = int(event.get("depth", 0)) + shift
+            if ev.get("parent") is None:
+                ev["parent"] = root_name
+            events.append(ev)
+        if root is not None:
+            ev = dict(root)
+            ev.setdefault("type", "span")
+            ev.setdefault("attrs", {})
+            ev["depth"] = base
+            ev["parent"] = (
+                self._stack[-1].name if self._stack else None
+            )
+            events.append(ev)
+        for ev in events:
+            hist = self._timings.get(ev["name"])
+            if hist is None:
+                hist = self._timings[ev["name"]] = Histogram()
+            hist.add(ev["seconds"])
+            for sink in self._sinks:
+                sink.emit(ev)
+        for name, value in (counters or {}).items():
+            self.count(name, value)
+        for name, g in (gauges or {}).items():
+            mine = self._gauges.get(name)
+            if mine is None:
+                self._gauges[name] = dict(g)
+            else:
+                mine["last"] = g["last"]
+                mine["n"] += g["n"]
+                if g["min"] < mine["min"]:
+                    mine["min"] = g["min"]
+                if g["max"] > mine["max"]:
+                    mine["max"] = g["max"]
 
     # -- snapshots -----------------------------------------------------
     def counters(self) -> Dict[str, int]:

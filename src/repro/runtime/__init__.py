@@ -19,7 +19,7 @@ This package is a leaf: it imports nothing from the rest of
 
 from . import faults
 from .budget import Budget, Deadline
-from .checkpoint import Checkpoint
+from .checkpoint import Checkpoint, payload_failed, resumable
 from .errors import (
     BudgetExceeded,
     CheckpointError,
@@ -47,5 +47,7 @@ __all__ = [
     "Outcome",
     "classify_failure",
     "run_isolated",
+    "payload_failed",
+    "resumable",
     "faults",
 ]

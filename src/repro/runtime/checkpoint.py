@@ -9,7 +9,15 @@ benchmark instead of from scratch: ``picola table1 --resume run.ckpt``.
 
 The file carries an ``experiment`` tag; resuming a ``table2`` run from
 a ``table1`` checkpoint raises :class:`CheckpointError` rather than
-silently mixing result shapes.
+silently mixing result shapes.  The tag is stamped on the first write
+— an untagged instance refuses to flush — and an on-disk file missing
+the tag is rejected at load time, so the mismatch check can never be
+bypassed by a file that simply omits the field.
+
+Failed units are checkpointed too (their payload records a non-``ok``
+``status``), so a deterministically failing benchmark is not re-run on
+every ``--resume``; :func:`resumable` implements the shared
+skip-or-rerun decision, including the opt-in ``--retry-failed`` path.
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from .errors import CheckpointError
 
-__all__ = ["Checkpoint"]
+__all__ = ["Checkpoint", "payload_failed", "resumable"]
 
 _FORMAT = "repro-checkpoint-v1"
 
@@ -52,9 +60,13 @@ class Checkpoint:
                 f"{self.path} is not a {_FORMAT} file"
             )
         recorded = data.get("experiment")
+        if recorded is None:
+            raise CheckpointError(
+                f"{self.path} has no experiment tag; refusing to "
+                "resume from an untagged checkpoint"
+            )
         if (
             self.experiment is not None
-            and recorded is not None
             and recorded != self.experiment
         ):
             raise CheckpointError(
@@ -97,6 +109,12 @@ class Checkpoint:
             self.path.unlink()
 
     def _flush(self) -> None:
+        if self.experiment is None:
+            raise CheckpointError(
+                f"refusing to write {self.path} without an "
+                "experiment tag (pass experiment=... so later "
+                "resumes can verify it)"
+            )
         data = {
             "format": _FORMAT,
             "experiment": self.experiment,
@@ -106,3 +124,36 @@ class Checkpoint:
         tmp.parent.mkdir(parents=True, exist_ok=True)
         tmp.write_text(json.dumps(data, indent=2, sort_keys=True))
         os.replace(tmp, self.path)
+
+
+# ----------------------------------------------------------------------
+# shared resume policy for the harness drivers
+# ----------------------------------------------------------------------
+def payload_failed(payload: Any) -> bool:
+    """True when a checkpointed payload records a non-``ok`` outcome.
+
+    All drivers store failures as dicts with a string ``status`` field
+    (``"timeout"`` / ``"budget"`` / ``"failed"``); successful ablation
+    payloads carry a *dict* under the same key (per-variant cell
+    statuses), which is deliberately not a failure marker.
+    """
+    if not isinstance(payload, dict):
+        return False
+    status = payload.get("status")
+    return isinstance(status, str) and status != "ok"
+
+
+def resumable(
+    ckpt: Optional["Checkpoint"],
+    key: str,
+    retry_failed: bool = False,
+) -> Optional[Any]:
+    """The checkpointed payload to reuse for ``key``, or ``None`` when
+    the unit must (re-)run — either because it was never completed or
+    because ``retry_failed`` forces re-execution of failed units."""
+    if ckpt is None or not ckpt.is_done(key):
+        return None
+    payload = ckpt.get(key)
+    if retry_failed and payload_failed(payload):
+        return None
+    return payload

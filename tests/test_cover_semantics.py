@@ -15,8 +15,11 @@ from repro.cubes import (
     complement,
     contains,
     cover_contains_cube,
+    intersect,
+    sharp,
     tautology,
 )
+from repro.runtime import InvalidSpecError
 
 
 def brute_minterms(space, cubes):
@@ -264,6 +267,68 @@ class TestCoverOperators:
 
         with _pytest.raises(ValueError):
             a | b
+
+    def test_space_mismatch_rejected_everywhere(self):
+        """Every binary Cover operation guards against cross-space
+        operands — a cube's bit layout is meaningless in another
+        space, so silent acceptance would corrupt results."""
+        a = Cover.universe(Space.binary(2))
+        b = Cover.universe(Space.binary(3))
+        with pytest.raises(InvalidSpecError):
+            a.intersected(b)
+        with pytest.raises(InvalidSpecError):
+            a & b
+        with pytest.raises(InvalidSpecError):
+            a.union(b)
+        with pytest.raises(InvalidSpecError):
+            a.difference(b)
+        with pytest.raises(InvalidSpecError):
+            a.contains_cover(b)
+        with pytest.raises(InvalidSpecError):
+            a.equivalent(b)
+
+class TestSharpProperties:
+    """The disjoint-sharp decomposition is what minterm_count and the
+    complement algorithms lean on: cubes must be pairwise disjoint and
+    cover exactly ``a``'s minterms outside ``b``."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(spaces_and_covers(), st.data())
+    def test_sharp_is_disjoint_and_exact(self, sc, data):
+        space, _ = sc
+        bits_a = data.draw(st.lists(
+            st.booleans(), min_size=space.width, max_size=space.width
+        ))
+        bits_b = data.draw(st.lists(
+            st.booleans(), min_size=space.width, max_size=space.width
+        ))
+        a = random_cube(space, bits_a)
+        b = random_cube(space, bits_b)
+        pieces = sharp(space, a, b)
+        # pairwise disjoint
+        for i, x in enumerate(pieces):
+            for y in pieces[i + 1:]:
+                assert intersect(space, x, y) == 0
+        # together they cover exactly a - b
+        want = {
+            m for m in space.iter_minterms()
+            if contains(a, m) and not contains(b, m)
+        }
+        assert brute_minterms(space, pieces) == want
+
+
+class TestMintermCountProperty:
+    @settings(max_examples=150, deadline=None)
+    @given(spaces_and_covers())
+    def test_matches_bruteforce(self, sc):
+        space, cubes = sc
+        cover = Cover(space, cubes)
+        assert cover.minterm_count() == len(brute_minterms(space, cubes))
+
+
+class TestCoverOperatorProperties:
+    def brute(self, cover):
+        return brute_minterms(cover.space, cover.cubes)
 
     @settings(max_examples=60, deadline=None)
     @given(spaces_and_covers(), st.data())

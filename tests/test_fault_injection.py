@@ -161,7 +161,9 @@ class TestCheckpointResume:
             second.rows[0].cubes_picola == first.rows[0].cubes_picola
         )
 
-    def test_table1_failed_rows_are_retried_on_resume(self, tmp_path):
+    def test_table1_failed_rows_checkpoint_with_status(self, tmp_path):
+        """Failures are checkpointed too: a deterministically failing
+        benchmark is not re-run on every --resume."""
         ckpt_path = tmp_path / "table1.ckpt"
         with faults.inject("table1.row", SolverTimeout, key="ex3"):
             report = run_table1(
@@ -171,13 +173,91 @@ class TestCheckpointResume:
         assert report.n_failed == 1
         ckpt = Checkpoint(ckpt_path)
         assert ckpt.is_done("lion9")
-        assert not ckpt.is_done("ex3")  # failures are not checkpointed
+        assert ckpt.is_done("ex3")
+        assert ckpt.get("ex3")["status"] == "timeout"
 
-        resumed = run_table1(
-            ["lion9", "ex3"], include_enc=False, checkpoint=ckpt_path
+        # plain resume restores the recorded failure without re-running
+        with faults.inject("table1.row", SolverTimeout) as fault:
+            resumed = run_table1(
+                ["lion9", "ex3"], include_enc=False,
+                checkpoint=ckpt_path,
+            )
+            assert fault.fired == 0
+        assert resumed.n_failed == 1
+        assert resumed.rows[1].status == "timeout"
+        assert "FAILED (timeout)" in resumed.render()
+
+    def test_table1_retry_failed_reruns_only_failures(self, tmp_path):
+        ckpt_path = tmp_path / "table1.ckpt"
+        with faults.inject("table1.row", SolverTimeout, key="ex3"):
+            run_table1(
+                ["lion9", "ex3"], include_enc=False,
+                checkpoint=ckpt_path,
+            )
+        # retry_failed re-runs ex3 (fault no longer armed -> succeeds)
+        # but must not touch the completed lion9 row
+        with faults.inject(
+            "table1.row", SolverTimeout, key="lion9"
+        ) as fault:
+            retried = run_table1(
+                ["lion9", "ex3"], include_enc=False,
+                checkpoint=ckpt_path, retry_failed=True,
+            )
+            assert fault.fired == 0
+        assert retried.n_failed == 0
+        assert all(r.ok for r in retried.rows)
+        assert Checkpoint(ckpt_path).get("ex3")["status"] == "ok"
+
+    def test_sweep_failed_cells_checkpoint_and_resume(self, tmp_path):
+        ckpt_path = tmp_path / "sweep.ckpt"
+        with faults.inject(
+            "sweep.benchmark", SolverTimeout, key="0/ex3"
+        ):
+            run_seed_sweep(
+                ["lion9", "ex3"], seeds=(0,), checkpoint=ckpt_path
+            )
+        ckpt = Checkpoint(ckpt_path)
+        assert ckpt.is_done("0/ex3")
+        assert ckpt.get("0/ex3")["status"] == "timeout"
+
+        with faults.inject("sweep.benchmark", SolverTimeout) as fault:
+            resumed = run_seed_sweep(
+                ["lion9", "ex3"], seeds=(0,), checkpoint=ckpt_path
+            )
+            assert fault.fired == 0  # nothing re-ran
+        assert resumed.failures == {(0, "ex3"): "timeout"}
+
+        retried = run_seed_sweep(
+            ["lion9", "ex3"], seeds=(0,), checkpoint=ckpt_path,
+            retry_failed=True,
         )
-        assert resumed.n_failed == 0
-        assert all(r.ok for r in resumed.rows)
+        assert retried.failures == {}
+        assert Checkpoint(ckpt_path).get("0/ex3")["picola"] > 0
+
+    def test_ablation_failed_fsm_checkpoints_and_resumes(self, tmp_path):
+        ckpt_path = tmp_path / "abl.ckpt"
+        with faults.inject("ablation.fsm", ReproError, key="lion9"):
+            run_ablation(
+                ["lion9", "ex3"], ["full"], checkpoint=ckpt_path
+            )
+        ckpt = Checkpoint(ckpt_path)
+        assert ckpt.is_done("lion9")
+        assert ckpt.get("lion9")["status"] == "failed"
+
+        with faults.inject("ablation.fsm", ReproError) as fault:
+            resumed = run_ablation(
+                ["lion9", "ex3"], ["full"], checkpoint=ckpt_path
+            )
+            assert fault.fired == 0
+        assert resumed.failures == {"lion9": "ReproError"}
+        assert resumed.cubes["ex3"]["full"] is not None
+
+        retried = run_ablation(
+            ["lion9", "ex3"], ["full"], checkpoint=ckpt_path,
+            retry_failed=True,
+        )
+        assert retried.failures == {}
+        assert retried.cubes["lion9"]["full"] is not None
 
     def test_sweep_kill_and_resume(self, tmp_path):
         """Kill a sweep mid-run (KeyboardInterrupt propagates through

@@ -15,6 +15,8 @@ from repro.runtime import (
     ReproError,
     SolverTimeout,
     faults,
+    payload_failed,
+    resumable,
     run_isolated,
 )
 
@@ -276,12 +278,48 @@ class TestCheckpoint:
 
     def test_clear(self, tmp_path):
         path = tmp_path / "run.ckpt"
-        ckpt = Checkpoint(path)
+        ckpt = Checkpoint(path, experiment="table1")
         ckpt.mark_done("a", 1)
         assert path.exists()
         ckpt.clear()
         assert not path.exists()
         assert not ckpt.is_done("a")
+
+    def test_untagged_write_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        ckpt = Checkpoint(path)
+        with pytest.raises(CheckpointError, match="experiment tag"):
+            ckpt.mark_done("a", 1)
+        assert not path.exists()
+
+    def test_untagged_file_rejected_on_resume(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_text(
+            '{"format": "repro-checkpoint-v1", "completed": {"a": 1}}'
+        )
+        with pytest.raises(CheckpointError, match="untagged"):
+            Checkpoint(path, experiment="table1")
+
+    def test_payload_failed(self):
+        assert payload_failed({"status": "timeout"})
+        assert payload_failed({"status": "failed", "reason": "x"})
+        assert not payload_failed({"status": "ok", "cubes": 7})
+        # ablation payloads carry a per-variant status *dict*
+        assert not payload_failed({"status": {"exact": "budget"}})
+        assert not payload_failed({"cubes": 7})
+        assert not payload_failed(42)
+
+    def test_resumable(self, tmp_path):
+        ckpt = Checkpoint(tmp_path / "run.ckpt", experiment="table1")
+        ckpt.mark_done("good", {"status": "ok", "cubes": 7})
+        ckpt.mark_done("bad", {"status": "timeout"})
+        assert resumable(None, "good") is None
+        assert resumable(ckpt, "missing") is None
+        assert resumable(ckpt, "good") == {"status": "ok", "cubes": 7}
+        assert resumable(ckpt, "bad") == {"status": "timeout"}
+        # retry_failed releases failed payloads for a re-run, not ok ones
+        assert resumable(ckpt, "bad", retry_failed=True) is None
+        assert resumable(ckpt, "good", retry_failed=True) is not None
 
 
 class TestSolverBudgetThreading:
