@@ -489,6 +489,144 @@ class DeprecatedPositionalNvRule(Rule):
                 )
 
 
+class BulkKernelRule(Rule):
+    """RPA008 — bulk-kernel modules stay columnar."""
+
+    rule_id = "RPA008"
+    title = "bulk kernel: per-cube Python loop or wrapper allocation"
+    rationale = """
+        Modules marked ``__bulk_kernel__ = True`` are the hot paths
+        rewritten onto the packed word-matrix kernel (PR 6): their
+        whole speedup comes from replacing per-cube Python loops with
+        single bulk primitives.  A `for cube in cover:` loop or a
+        Cover()/Cube() wrapper allocation sneaking back in silently
+        reverts the module to scalar speed on both backends.  Loop
+        over index lists (`for idx in order:`) or call a kernel
+        primitive instead.
+    """
+
+    _WRAPPERS = ("Cover", "Cube")
+    #: iteration wrappers looked through before classifying the iterable
+    _UNWRAP = frozenset({"enumerate", "sorted", "reversed", "list", "tuple"})
+    #: variable names conventionally holding covers / cube lists
+    _COVER_NAMES = frozenset(
+        {
+            "cover",
+            "cubes",
+            "onset",
+            "dcset",
+            "off",
+            "offset",
+            "primes",
+            "care",
+            "rest",
+            "pieces",
+            "branch",
+            "comp",
+            "cofactored",
+            "expanded",
+            "merged",
+            "lowered",
+            "result",
+            "keep",
+            "packed",
+        }
+    )
+    #: calls whose return value is a cover (iterating one is a scalar loop)
+    _COVER_PRODUCERS = frozenset(
+        {
+            "complement",
+            "complement_packed",
+            "cube_complement",
+            "sharp",
+            "absorb",
+            "unpack",
+            "espresso",
+            "expand",
+            "reduce_cover",
+            "irredundant",
+            "make_sparse",
+            "lower_outputs",
+            "raise_inputs",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._is_marked(ctx.tree):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._WRAPPERS
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{node.func.id}() wrapper allocated inside a "
+                    "bulk-kernel module; hot paths work on packed "
+                    "covers and bare ints only",
+                )
+            elif isinstance(node, ast.For):
+                yield from self._check_iter(ctx, node, node.iter)
+            elif isinstance(node, ast.comprehension):
+                yield from self._check_iter(ctx, node.iter, node.iter)
+
+    @staticmethod
+    def _is_marked(tree: ast.Module) -> bool:
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == "__bulk_kernel__"
+                        and isinstance(node.value, ast.Constant)
+                        and bool(node.value.value)
+                    ):
+                        return True
+        return False
+
+    def _check_iter(
+        self, ctx: FileContext, at, iter_node
+    ) -> Iterator[Finding]:
+        expr = iter_node
+        while (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in self._UNWRAP
+            and expr.args
+        ):
+            expr = expr.args[0]
+        label = self._cover_label(expr)
+        if label is not None:
+            yield ctx.finding(
+                self,
+                at,
+                f"per-cube Python loop over {label} in a bulk-kernel "
+                "module; replace it with a bulk primitive "
+                "(contains/void masks, folds, cofactors) or iterate "
+                "an index list",
+            )
+
+    def _cover_label(self, expr) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            if (
+                name in self._COVER_NAMES
+                or name.endswith("cubes")
+                or name.endswith("cover")
+            ):
+                return f"cover {name!r}"
+        elif isinstance(expr, ast.Attribute):
+            if expr.attr == "cubes" or expr.attr in self._COVER_NAMES:
+                return f"cover attribute '.{expr.attr}'"
+        elif isinstance(expr, ast.Call):
+            name = _call_name(expr)
+            if name in self._COVER_PRODUCERS:
+                return f"cover-producing call {name}()"
+        return None
+
+
 RULE_CLASSES: Tuple[type, ...] = (
     BudgetThreadingRule,
     SpanHygieneRule,
@@ -497,6 +635,7 @@ RULE_CLASSES: Tuple[type, ...] = (
     DeterminismRule,
     RegistryConformanceRule,
     DeprecatedPositionalNvRule,
+    BulkKernelRule,
 )
 
 

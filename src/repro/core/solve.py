@@ -26,6 +26,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..cubes.bulk import bit_count
 from ..encoding.matrix import ConstraintMatrix, ConstraintRow
 from ..obs import resolve_tracer
 from ..runtime import InvariantViolation
@@ -35,45 +36,107 @@ __all__ = ["generate_column", "PrefixGroups"]
 
 
 class PrefixGroups:
-    """Tracks groups of symbols sharing the same code prefix."""
+    """Tracks groups of symbols sharing the same code prefix.
+
+    Each group is a bitmask over symbol indices (bit ``i`` set when
+    ``symbols[i]`` belongs to the group) plus its prefix tuple, in the
+    columnar style of the cube kernel: splitting every group under a
+    new column is a couple of AND/ANDN operations per group, and group
+    sizes are popcounts.  The per-symbol ``prefix`` mapping of the old
+    representation survives as a derived read-only property.
+    """
 
     def __init__(self, symbols: Sequence[str], nv: int) -> None:
         self.symbols = list(symbols)
         self.nv = nv
         self.columns_done = 0
-        self.prefix: Dict[str, Tuple[int, ...]] = {
-            s: () for s in self.symbols
+        self._index: Dict[str, int] = {
+            s: i for i, s in enumerate(self.symbols)
+        }
+        # one group per distinct prefix; all symbols start with ()
+        self._group_prefixes: List[Tuple[int, ...]] = []
+        self._group_masks: List[int] = []
+        self._group_of: List[int] = [0] * len(self.symbols)
+        if self.symbols:
+            self._group_prefixes.append(())
+            self._group_masks.append((1 << len(self.symbols)) - 1)
+
+    # -- group-id view (the bookkeeping the column builder runs on) ----
+    @property
+    def n_groups(self) -> int:
+        return len(self._group_masks)
+
+    def group_index(self, symbol: str) -> int:
+        return self._group_of[self._index[symbol]]
+
+    def group_size(self, gid: int) -> int:
+        return bit_count(self._group_masks[gid])
+
+    def _column_mask(self, column: Mapping[str, int]) -> int:
+        """Bitmask of symbols the column maps to 1."""
+        mask = 0
+        for i, s in enumerate(self.symbols):
+            if column[s]:
+                mask |= 1 << i
+        return mask
+
+    # -- legacy per-symbol view ----------------------------------------
+    @property
+    def prefix(self) -> Dict[str, Tuple[int, ...]]:
+        """Per-symbol prefix mapping (derived; do not mutate)."""
+        return {
+            s: self._group_prefixes[self._group_of[i]]
+            for i, s in enumerate(self.symbols)
         }
 
     def group_sizes(self) -> Dict[Tuple[int, ...], int]:
-        sizes: Dict[Tuple[int, ...], int] = {}
-        for s in self.symbols:
-            key = self.prefix[s]
-            sizes[key] = sizes.get(key, 0) + 1
-        return sizes
+        return {
+            prefix: bit_count(mask)
+            for prefix, mask in zip(self._group_prefixes, self._group_masks)
+        }
 
+    # ------------------------------------------------------------------
     def cap_after_next_column(self) -> int:
         """Max group size allowed once the next column is appended."""
         remaining = self.nv - (self.columns_done + 1)
         return 1 << max(remaining, 0)
 
     def apply_column(self, column: Mapping[str, int]) -> None:
-        for s in self.symbols:
-            self.prefix[s] = self.prefix[s] + (column[s],)
+        col = self._column_mask(column)
+        prefixes: List[Tuple[int, ...]] = []
+        masks: List[int] = []
+        for prefix, mask in zip(self._group_prefixes, self._group_masks):
+            children = [(0, mask & ~col), (1, mask & col)]
+            if (mask & -mask) & col:  # first member goes to the 1 side
+                children.reverse()
+            for value, child in children:
+                if child:
+                    prefixes.append(prefix + (value,))
+                    masks.append(child)
+        self._group_prefixes = prefixes
+        self._group_masks = masks
+        for gid, mask in enumerate(masks):
+            while mask:
+                low = mask & -mask
+                self._group_of[low.bit_length() - 1] = gid
+                mask ^= low
         self.columns_done += 1
 
     def is_valid_column(self, column: Mapping[str, int]) -> bool:
         cap = self.cap_after_next_column()
-        sizes: Dict[Tuple[int, ...], int] = {}
-        for s in self.symbols:
-            key = self.prefix[s] + (column[s],)
-            sizes[key] = sizes.get(key, 0) + 1
-        return all(size <= cap for size in sizes.values())
+        col = self._column_mask(column)
+        return all(
+            bit_count(mask & col) <= cap
+            and bit_count(mask & ~col) <= cap
+            for mask in self._group_masks
+        )
 
     def clone(self) -> "PrefixGroups":
         twin = PrefixGroups(self.symbols, self.nv)
         twin.columns_done = self.columns_done
-        twin.prefix = dict(self.prefix)
+        twin._group_prefixes = list(self._group_prefixes)
+        twin._group_masks = list(self._group_masks)
+        twin._group_of = list(self._group_of)
         return twin
 
 
@@ -191,22 +254,23 @@ class _ColumnBuilder:
             for s, m in st.row.marks.items():
                 if m == 0:
                     self.outsider_rows[s].append(st)
-        self.one_count: Dict[Tuple[int, ...], int] = {}
-        self.zero_count: Dict[Tuple[int, ...], int] = {}
-        for s in self.symbols:
-            key = groups.prefix[s]
-            self.one_count[key] = self.one_count.get(key, 0) + 1
-            self.zero_count.setdefault(key, 0)
+        self.gid: Dict[str, int] = {
+            s: groups.group_index(s) for s in self.symbols
+        }
+        self.one_count: List[int] = [
+            groups.group_size(g) for g in range(groups.n_groups)
+        ]
+        self.zero_count: List[int] = [0] * groups.n_groups
 
     # ------------------------------------------------------------------
     def overfull(self) -> bool:
-        return any(v > self.cap for v in self.one_count.values())
+        return any(v > self.cap for v in self.one_count)
 
     def admissible_toggle(self, s: str) -> bool:
-        key = self.groups.prefix[s]
+        gid = self.gid[s]
         if self.column[s] == 1:
-            return self.zero_count[key] + 1 <= self.cap
-        return self.one_count[key] + 1 <= self.cap
+            return self.zero_count[gid] + 1 <= self.cap
+        return self.one_count[gid] + 1 <= self.cap
 
     def toggle_gain(self, s: str) -> float:
         delta = -1 if self.column[s] == 1 else 1
@@ -220,9 +284,9 @@ class _ColumnBuilder:
     def toggle(self, s: str) -> None:
         delta = -1 if self.column[s] == 1 else 1
         self.column[s] += delta
-        key = self.groups.prefix[s]
-        self.one_count[key] += delta
-        self.zero_count[key] -= delta
+        gid = self.gid[s]
+        self.one_count[gid] += delta
+        self.zero_count[gid] -= delta
         for st in self.member_rows[s]:
             st.member_ones += delta
         for st in self.outsider_rows[s]:
@@ -240,10 +304,10 @@ class _ColumnBuilder:
             for s in self.symbols:
                 if self.column[s] != 1:
                     continue
-                key = self.groups.prefix[s]
-                if self.one_count[key] <= self.cap:
+                gid = self.gid[s]
+                if self.one_count[gid] <= self.cap:
                     continue
-                if self.zero_count[key] + 1 > self.cap:
+                if self.zero_count[gid] + 1 > self.cap:
                     continue
                 g = self.toggle_gain(s)
                 if rng is not None:

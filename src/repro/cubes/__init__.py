@@ -7,9 +7,10 @@ Public surface:
 * the free functions in :mod:`repro.cubes.cube` for single-cube math.
 """
 
-from .complement import absorb, complement
+from .complement import complement
 from .cover import Cover
 from .cube import (
+    absorb,
     active_parts,
     consensus,
     contains,

@@ -1,0 +1,550 @@
+"""Numpy bulk kernel: packed covers with an adaptive vectorized path.
+
+A packed cover is a :class:`_Packed` handle holding the cover in up to
+two interchangeable forms, materialized lazily and cached:
+
+* ``ints`` — the legacy list of python-int cubes;
+* ``rows`` — a ``(rows, limbs)`` uint64 matrix, each cube one row of
+  64-bit limbs in little-endian limb order (limb ``k`` holds raw
+  positional-cube bits ``64k .. 64k+63`` of the
+  :class:`~repro.cubes.space.Space` layout).
+
+Every primitive dispatches on cover size: below the cutoffs it runs
+the exact scalar loops of
+:class:`~repro.cubes.bulk.pybackend.PythonKernel` (numpy's per-call
+overhead loses badly on the small sub-covers that dominate the unate
+recursion), above them it runs whole-matrix broadcast bitwise ops at C
+speed.  Because both paths are bit-exact replicas of the legacy
+per-cube loops, the dispatch is invisible to callers — only the
+throughput changes.  ``BENCH_kernel.json`` records the crossover win.
+
+Per-space layout tables (universe limbs, per-part mask limbs) are
+cached keyed by ``part_sizes`` — two spaces with equal part sizes share
+one layout, exactly mirroring ``Space.__eq__``.  Tie-breaking in the
+vectorized paths uses ``argmax`` (first maximum) and ``kind="stable"``
+argsorts to reproduce the legacy loop orders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..space import Space
+from .pybackend import PythonKernel
+
+__all__ = ["NumpyKernel"]
+
+_MASK64 = (1 << 64) - 1
+
+#: rows-squared-times-limbs budget above which pairwise containment
+#: matrices are computed in row blocks instead of one allocation
+_BLOCK_ROWS = 512
+
+#: default dispatch cutoffs: linear-cost primitives vectorize above
+#: LINEAR rows, quadratic ones (absorption, dedup, cross products)
+#: already win earlier and use QUAD
+_LINEAR_CUTOFF = 64
+_QUAD_CUTOFF = 24
+
+
+def _to_limbs(value: int, nlimbs: int) -> np.ndarray:
+    return np.array(
+        [(value >> (64 * k)) & _MASK64 for k in range(nlimbs)],
+        dtype=np.uint64,
+    )
+
+
+def _from_limbs(row) -> int:
+    value = 0
+    for limb in reversed(row):
+        value = (value << 64) | int(limb)
+    return value
+
+
+class _Layout:
+    """Cached per-space limb tables."""
+
+    __slots__ = ("nlimbs", "nparts", "universe", "part_masks")
+
+    def __init__(self, space: Space) -> None:
+        self.nlimbs = max(1, (space.width + 63) // 64)
+        self.nparts = len(space.part_sizes)
+        self.universe = _to_limbs(space.universe, self.nlimbs)
+        self.part_masks = np.stack(
+            [_to_limbs(m, self.nlimbs) for m in space.part_masks]
+        )
+
+
+_LAYOUTS: Dict[Tuple[int, ...], _Layout] = {}
+
+
+def _layout(space: Space) -> _Layout:
+    key = space.part_sizes
+    layout = _LAYOUTS.get(key)
+    if layout is None:
+        if len(_LAYOUTS) > 128:  # unbounded-growth guard
+            _LAYOUTS.clear()
+        layout = _LAYOUTS[key] = _Layout(space)
+    return layout
+
+
+class _Packed:
+    """A cover held lazily as int cubes and/or a uint64 limb matrix.
+
+    Both forms are cached on the handle, so a cover repeatedly hit by
+    vectorized primitives converts once; covers never touched by the
+    fast path never allocate an array at all.
+    """
+
+    __slots__ = ("_ints", "_rows", "nlimbs")
+
+    def __init__(
+        self,
+        nlimbs: int,
+        ints: Optional[List[int]] = None,
+        rows: Optional[np.ndarray] = None,
+    ) -> None:
+        self._ints = ints
+        self._rows = rows
+        self.nlimbs = nlimbs
+
+    def __len__(self) -> int:
+        if self._ints is not None:
+            return len(self._ints)
+        return self._rows.shape[0]
+
+    def ints(self) -> List[int]:
+        if self._ints is None:
+            rows = self._rows
+            if self.nlimbs == 1:
+                self._ints = [int(v) for v in rows[:, 0].tolist()]
+            else:
+                self._ints = [_from_limbs(row) for row in rows.tolist()]
+        return self._ints
+
+    def rows(self) -> np.ndarray:
+        if self._rows is None:
+            ints = self._ints
+            if self.nlimbs == 1:
+                self._rows = np.array(ints, dtype=np.uint64).reshape(-1, 1)
+            else:
+                self._rows = np.array(
+                    [
+                        [(c >> (64 * k)) & _MASK64 for k in range(self.nlimbs)]
+                        for c in ints
+                    ],
+                    dtype=np.uint64,
+                ).reshape(len(ints), self.nlimbs)
+        return self._rows
+
+
+class NumpyKernel:
+    """Bulk cover primitives with size-adaptive numpy dispatch."""
+
+    name = "numpy"
+
+    def __init__(
+        self,
+        linear_cutoff: int = _LINEAR_CUTOFF,
+        quad_cutoff: int = _QUAD_CUTOFF,
+    ) -> None:
+        self._py = PythonKernel()
+        self._linear = linear_cutoff
+        self._quad = quad_cutoff
+
+    # -- conversion boundary -------------------------------------------
+    def pack(self, space: Space, cubes) -> _Packed:
+        return _Packed(_layout(space).nlimbs, ints=list(cubes))
+
+    def unpack(self, space: Space, packed: _Packed) -> List[int]:
+        return list(packed.ints())
+
+    # -- structural ----------------------------------------------------
+    def length(self, packed: _Packed) -> int:
+        return len(packed)
+
+    def row(self, space: Space, packed: _Packed, i: int) -> int:
+        if packed._ints is not None:
+            return packed._ints[i]
+        return _from_limbs(packed._rows[i])
+
+    def empty(self, space: Space) -> _Packed:
+        return _Packed(_layout(space).nlimbs, ints=[])
+
+    def single(self, space: Space, cube: int) -> _Packed:
+        return _Packed(_layout(space).nlimbs, ints=[cube])
+
+    def concat(self, space: Space, a: _Packed, b: _Packed) -> _Packed:
+        nlimbs = a.nlimbs
+        if not len(a):
+            return b
+        if not len(b):
+            return a
+        if a._ints is not None and b._ints is not None:
+            return _Packed(nlimbs, ints=a._ints + b._ints)
+        return _Packed(
+            nlimbs, rows=np.concatenate([a.rows(), b.rows()], axis=0)
+        )
+
+    def gather(self, space: Space, packed: _Packed, indices) -> _Packed:
+        if packed._ints is not None:
+            return _Packed(
+                packed.nlimbs, ints=self._py.gather(space, packed._ints, indices)
+            )
+        return _Packed(
+            packed.nlimbs,
+            rows=packed._rows[np.asarray(list(indices), dtype=np.intp)],
+        )
+
+    def delete_row(self, space: Space, packed: _Packed, i: int) -> _Packed:
+        if packed._ints is not None:
+            return _Packed(
+                packed.nlimbs, ints=self._py.delete_row(space, packed._ints, i)
+            )
+        return _Packed(packed.nlimbs, rows=np.delete(packed._rows, i, axis=0))
+
+    def with_row(
+        self, space: Space, packed: _Packed, i: int, cube: int
+    ) -> _Packed:
+        if packed._ints is not None:
+            return _Packed(
+                packed.nlimbs,
+                ints=self._py.with_row(space, packed._ints, i, cube),
+            )
+        out = packed._rows.copy()
+        out[i] = _to_limbs(cube, packed.nlimbs)
+        return _Packed(packed.nlimbs, rows=out)
+
+    def select(self, space: Space, packed: _Packed, mask) -> _Packed:
+        if packed._ints is not None:
+            return _Packed(
+                packed.nlimbs, ints=self._py.select(space, packed._ints, mask)
+            )
+        return _Packed(
+            packed.nlimbs, rows=packed._rows[np.asarray(mask, dtype=bool)]
+        )
+
+    # -- whole-cover folds ---------------------------------------------
+    def or_fold(self, space: Space, packed: _Packed) -> int:
+        if len(packed) < self._linear:
+            return self._py.or_fold(space, packed.ints())
+        return _from_limbs(np.bitwise_or.reduce(packed.rows(), axis=0))
+
+    def union_info(self, space: Space, packed: _Packed) -> Tuple[int, bool]:
+        if len(packed) < self._linear:
+            return self._py.union_info(space, packed.ints())
+        layout = _layout(space)
+        rows = packed.rows()
+        union = np.bitwise_or.reduce(rows, axis=0)
+        has_universe = bool(
+            (rows == layout.universe[None, :]).all(axis=1).any()
+        )
+        return _from_limbs(union), has_universe
+
+    def popcounts(self, space: Space, packed: _Packed) -> List[int]:
+        if len(packed) < self._linear:
+            return self._py.popcounts(space, packed.ints())
+        return (
+            np.bitwise_count(packed.rows())
+            .sum(axis=1, dtype=np.int64)
+            .tolist()
+        )
+
+    def _nonfull_matrix(self, layout: _Layout, rows: np.ndarray):
+        """(rows, parts) bool: field of part p in row r is not full."""
+        fields = rows[:, None, :] & layout.part_masks[None, :, :]
+        return ~(fields == layout.part_masks[None, :, :]).all(axis=2)
+
+    def nonfull_counts(self, space: Space, packed: _Packed) -> List[int]:
+        if len(packed) < self._linear:
+            return self._py.nonfull_counts(space, packed.ints())
+        layout = _layout(space)
+        return (
+            self._nonfull_matrix(layout, packed.rows())
+            .sum(axis=0, dtype=np.int64)
+            .tolist()
+        )
+
+    def is_unate(self, space: Space, packed: _Packed) -> bool:
+        # the scalar loop's early exit usually beats vectorization
+        return self._py.is_unate(space, packed.ints())
+
+    def binate_part(self, space: Space, packed: _Packed) -> int:
+        counts = self.nonfull_counts(space, packed)
+        best_part = -1
+        best_score = -1
+        for part, score in enumerate(counts):
+            if score > best_score:
+                best_score = score
+                best_part = part
+        return best_part
+
+    # -- row masks -----------------------------------------------------
+    def _nonvoid(self, layout: _Layout, rows: np.ndarray) -> np.ndarray:
+        """(rows,) bool: every part field of the row is non-empty."""
+        if not rows.shape[0]:
+            return np.zeros(0, dtype=bool)
+        hits = rows[:, None, :] & layout.part_masks[None, :, :]
+        return hits.any(axis=2).all(axis=1)
+
+    def void_mask(self, space: Space, packed: _Packed):
+        if len(packed) < self._linear:
+            return self._py.void_mask(space, packed.ints())
+        return ~self._nonvoid(_layout(space), packed.rows())
+
+    def contains_rows(self, space: Space, packed: _Packed, cube: int):
+        if len(packed) < self._linear:
+            return self._py.contains_rows(space, packed.ints(), cube)
+        limbs = _to_limbs(cube, packed.nlimbs)
+        return ((limbs[None, :] & ~packed.rows()) == 0).all(axis=1)
+
+    def contained_rows(self, space: Space, packed: _Packed, cube: int):
+        if len(packed) < self._linear:
+            return self._py.contained_rows(space, packed.ints(), cube)
+        limbs = _to_limbs(cube, packed.nlimbs)
+        return ((packed.rows() & ~limbs[None, :]) == 0).all(axis=1)
+
+    def admits_rows(self, space: Space, packed: _Packed, cube: int):
+        if len(packed) < self._linear:
+            return self._py.admits_rows(space, packed.ints(), cube)
+        limbs = _to_limbs(cube, packed.nlimbs)
+        return ((packed.rows() & limbs[None, :]) != 0).any(axis=1)
+
+    def intersects_any(
+        self, space: Space, packed: _Packed, cube: int
+    ) -> bool:
+        if len(packed) < self._linear:
+            return self._py.intersects_any(space, packed.ints(), cube)
+        layout = _layout(space)
+        limbs = _to_limbs(cube, layout.nlimbs)
+        return bool(
+            self._nonvoid(layout, packed.rows() & limbs[None, :]).any()
+        )
+
+    # -- cofactor / restriction ----------------------------------------
+    def cofactor_value(
+        self, space: Space, packed: _Packed, part: int, value: int
+    ) -> _Packed:
+        if len(packed) < self._linear:
+            return _Packed(
+                packed.nlimbs,
+                ints=self._py.cofactor_value(
+                    space, packed.ints(), part, value
+                ),
+            )
+        layout = _layout(space)
+        pos = space.offsets[part] + value
+        limb, bit = pos // 64, np.uint64(1 << (pos % 64))
+        rows = packed.rows()
+        keep = (rows[:, limb] & bit) != 0
+        return _Packed(
+            packed.nlimbs,
+            rows=rows[keep] | layout.part_masks[part][None, :],
+        )
+
+    def cofactor_cube(
+        self, space: Space, packed: _Packed, pivot: int
+    ) -> _Packed:
+        if len(packed) < self._linear:
+            return _Packed(
+                packed.nlimbs,
+                ints=self._py.cofactor_cube(space, packed.ints(), pivot),
+            )
+        layout = _layout(space)
+        pivot_limbs = _to_limbs(pivot, layout.nlimbs)
+        rows = packed.rows()
+        keep = self._nonvoid(layout, rows & pivot_limbs[None, :])
+        lifted = layout.universe & ~pivot_limbs
+        return _Packed(packed.nlimbs, rows=rows[keep] | lifted[None, :])
+
+    def and_rows(self, space: Space, packed: _Packed, cube: int) -> _Packed:
+        if len(packed) < self._linear:
+            return _Packed(
+                packed.nlimbs,
+                ints=self._py.and_rows(space, packed.ints(), cube),
+            )
+        limbs = _to_limbs(cube, packed.nlimbs)
+        return _Packed(packed.nlimbs, rows=packed.rows() & limbs[None, :])
+
+    # -- cover surgery -------------------------------------------------
+    def merge_part(
+        self, space: Space, packed: _Packed, part: int
+    ) -> _Packed:
+        n = len(packed)
+        if n < self._linear:
+            return _Packed(
+                packed.nlimbs,
+                ints=self._py.merge_part(space, packed.ints(), part),
+            )
+        layout = _layout(space)
+        part_mask = layout.part_masks[part]
+        rows = packed.rows()
+        keys = rows & ~part_mask[None, :]
+        fields = rows & part_mask[None, :]
+        uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+        inverse = inverse.reshape(-1)
+        acc = np.zeros_like(uniq)
+        np.bitwise_or.at(acc, inverse, fields)
+        # restore first-occurrence order (np.unique sorts its output)
+        first = np.full(uniq.shape[0], n, dtype=np.int64)
+        np.minimum.at(first, inverse, np.arange(n, dtype=np.int64))
+        order = np.argsort(first, kind="stable")
+        return _Packed(packed.nlimbs, rows=(uniq | acc)[order])
+
+    def _containment(
+        self, sub_rows: np.ndarray, sup_rows: np.ndarray
+    ) -> np.ndarray:
+        """(len(sub), len(sup)) bool: sub_i ⊆ sup_j, block-computed."""
+        n, m = sub_rows.shape[0], sup_rows.shape[0]
+        out = np.zeros((n, m), dtype=bool)
+        for lo in range(0, n, _BLOCK_ROWS):
+            hi = min(lo + _BLOCK_ROWS, n)
+            meet = sub_rows[lo:hi, None, :] & ~sup_rows[None, :, :]
+            out[lo:hi] = (meet == 0).all(axis=2)
+        return out
+
+    def absorb(self, space: Space, packed: _Packed) -> _Packed:
+        n = len(packed)
+        if n < self._quad:
+            return _Packed(
+                packed.nlimbs, ints=self._py.absorb(space, packed.ints())
+            )
+        rows = packed.rows()
+        weights = np.bitwise_count(rows).sum(axis=1, dtype=np.int64)
+        order = np.argsort(-weights, kind="stable")
+        rows = rows[order]
+        contained = self._containment(rows, rows)
+        earlier = np.tril(np.ones((n, n), dtype=bool), k=-1)
+        drop = (contained & earlier).any(axis=1)
+        return _Packed(packed.nlimbs, rows=rows[~drop])
+
+    def dedup_keep_mask(self, space: Space, packed: _Packed):
+        n = len(packed)
+        if n < self._quad:
+            return self._py.dedup_keep_mask(space, packed.ints())
+        rows = packed.rows()
+        contained = self._containment(rows, rows)
+        equal = contained & contained.T  # mutual containment = equality
+        idx = np.arange(n)
+        offdiag = idx[None, :] != idx[:, None]
+        earlier = idx[None, :] < idx[:, None]
+        drop = (contained & offdiag & (~equal | earlier)).any(axis=1)
+        return ~drop
+
+    def cross_intersect(
+        self, space: Space, a: _Packed, b: _Packed
+    ) -> _Packed:
+        if len(a) * len(b) < self._quad * self._quad:
+            return _Packed(
+                a.nlimbs,
+                ints=self._py.cross_intersect(space, a.ints(), b.ints()),
+            )
+        layout = _layout(space)
+        meets = (a.rows()[:, None, :] & b.rows()[None, :, :]).reshape(
+            len(a) * len(b), layout.nlimbs
+        )
+        return _Packed(a.nlimbs, rows=meets[self._nonvoid(layout, meets)])
+
+    # -- counting ------------------------------------------------------
+    def _sharp_many(
+        self, layout: _Layout, pieces: np.ndarray, seen: np.ndarray
+    ) -> np.ndarray:
+        """Disjoint sharp of every piece row against the cube ``seen``
+        (limb vector); pieces not meeting ``seen`` pass through."""
+        meets = self._nonvoid(layout, pieces & seen[None, :])
+        passthrough = pieces[~meets]
+        rest = pieces[meets]
+        out = [passthrough]
+        for part_mask in layout.part_masks:
+            outside = rest & part_mask[None, :] & ~seen[None, :]
+            has = (outside != 0).any(axis=1)
+            if has.any():
+                out.append(
+                    (rest[has] & ~part_mask[None, :]) | outside[has]
+                )
+            rest = (rest & ~part_mask[None, :]) | (
+                rest & part_mask[None, :] & seen[None, :]
+            )
+        return np.concatenate(out, axis=0)
+
+    def minterm_count(self, space: Space, packed: _Packed) -> int:
+        if len(packed) < self._linear:
+            return self._py.minterm_count(space, packed.ints())
+        layout = _layout(space)
+        all_rows = packed.rows()
+        disjoint = np.zeros((0, layout.nlimbs), dtype=np.uint64)
+        for i in range(all_rows.shape[0]):
+            pieces = all_rows[i : i + 1]
+            for j in range(disjoint.shape[0]):
+                if not pieces.shape[0]:
+                    break
+                pieces = self._sharp_many(layout, pieces, disjoint[j])
+            if pieces.shape[0]:
+                disjoint = np.concatenate([disjoint, pieces], axis=0)
+        if not disjoint.shape[0]:
+            return 0
+        fields = disjoint[:, None, :] & layout.part_masks[None, :, :]
+        sizes = np.bitwise_count(fields).sum(axis=2, dtype=np.int64)
+        total = 0
+        for per_part in sizes.tolist():  # python ints: no overflow
+            size = 1
+            for count in per_part:
+                size *= count
+            total += size
+        return total
+
+    # -- EXPAND support ------------------------------------------------
+    def blocked_raises(self, space: Space, off: _Packed, cube: int) -> int:
+        if len(off) < self._linear:
+            return self._py.blocked_raises(space, off.ints(), cube)
+        layout = _layout(space)
+        cube_limbs = _to_limbs(cube, layout.nlimbs)
+        rows = off.rows()
+        meets = rows & cube_limbs[None, :]
+        part_hit = (
+            (meets[:, None, :] & layout.part_masks[None, :, :])
+            .any(axis=2)
+        )
+        blocking = ~part_hit
+        critical = blocking.sum(axis=1) == 1
+        if not critical.any():
+            return 0
+        crit_rows = rows[critical]
+        parts = np.argmax(blocking[critical], axis=1)
+        admitted = crit_rows & layout.part_masks[parts]
+        return _from_limbs(np.bitwise_or.reduce(admitted, axis=0))
+
+    def best_raise(
+        self, space: Space, others: _Packed, cube: int, candidates: int
+    ) -> int:
+        if not candidates:
+            return 0
+        if len(others) < self._linear:
+            return self._py.best_raise(space, others.ints(), cube, candidates)
+        layout = _layout(space)
+        positions = []
+        bits = candidates
+        while bits:
+            bit = bits & -bits
+            bits &= bits - 1
+            positions.append(bit.bit_length() - 1)
+        n_cand = len(positions)
+        cand = np.zeros((n_cand, layout.nlimbs), dtype=np.uint64)
+        for i, pos in enumerate(positions):
+            cand[i, pos // 64] = np.uint64(1 << (pos % 64))
+        rows = others.rows()
+        n_others = rows.shape[0]
+        cube_limbs = _to_limbs(cube, layout.nlimbs)
+        grown = cube_limbs[None, :] | cand
+        outside = rows[None, :, :] & ~grown[:, None, :]
+        covered = (outside == 0).all(axis=2).sum(axis=1, dtype=np.int64)
+        column = (
+            ((rows[None, :, :] & cand[:, None, :]) != 0)
+            .any(axis=2)
+            .sum(axis=1, dtype=np.int64)
+        )
+        # lexicographic (covered, column) max, first (lowest bit) wins
+        score = covered * np.int64(n_others + 1) + column
+        return 1 << positions[int(np.argmax(score))]

@@ -8,91 +8,68 @@ covered by ``cover``.  The recursion is the classic one:
 with base cases for the empty cover (universe), a universe row (empty)
 and a single cube (De Morgan).  Results are absorbed (single-cube
 containment) on the way up to keep intermediate covers small.
+
+The recursion runs entirely on packed word-matrix covers
+(:mod:`repro.cubes.bulk`): branch cofactors, the per-value selector
+AND, absorption and the part merge are all single bulk-kernel calls.
+Conversion to/from the legacy int-list form happens only at the public
+boundary.  ``absorb`` (re-exported from :mod:`repro.cubes.cube`) keeps
+its historical list-of-ints signature.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
-from .cube import cube_complement
+from .bulk import active_kernel
+from .cube import absorb, cube_complement
 from .space import Space
 
 __all__ = ["complement", "absorb"]
 
+#: lint marker: this module is a bulk-kernel hot path (RPA008)
+__bulk_kernel__ = True
 
-def absorb(cover: List[int]) -> List[int]:
-    """Remove cubes contained in another cube of the cover (in place).
-
-    Sorting by descending popcount means a cube can only be absorbed by
-    an earlier one, giving a single quadratic pass with early exits.
-    """
-    cover.sort(key=_popcount, reverse=True)
-    result: List[int] = []
-    for cube in cover:
-        for big in result:
-            if not cube & ~big:
-                break
-        else:
-            result.append(cube)
-    return result
-
-
-def _popcount(x: int) -> int:
-    return bin(x).count("1")
-
-
-def _select_binate_part(space: Space, cover: Sequence[int]) -> int:
-    best_part = 0
-    best_score = -1
-    for part, mask in enumerate(space.part_masks):
-        score = 0
-        for cube in cover:
-            if cube & mask != mask:
-                score += 1
-        if score > best_score:
-            best_score = score
-            best_part = part
-    return best_part
+#: full absorption is quadratic; above this many intermediate cubes we
+#: keep only the cheap merge (redundant cubes are harmless to callers,
+#: they just cost a little extra work downstream)
+_ABSORB_LIMIT = 256
 
 
 def complement(space: Space, cover: Sequence[int]) -> List[int]:
     """Cover of the complement of ``cover``."""
-    universe = space.universe
-    if not cover:
-        return [universe]
-    for cube in cover:
-        if cube == universe:
-            return []
-    if len(cover) == 1:
-        return cube_complement(space, cover[0])
+    kernel = active_kernel()
+    return kernel.unpack(
+        space, complement_packed(space, kernel, kernel.pack(space, cover))
+    )
 
-    part = _select_binate_part(space, cover)
+
+def complement_packed(space: Space, kernel, packed):
+    """Complement of an already-packed cover, staying packed (internal
+    seam shared with the espresso REDUCE pass)."""
+    universe = space.universe
+    n = kernel.length(packed)
+    if not n:
+        return kernel.single(space, universe)
+    _, has_universe = kernel.union_info(space, packed)
+    if has_universe:
+        return kernel.empty(space)
+    if n == 1:
+        return kernel.pack(
+            space, cube_complement(space, kernel.row(space, packed, 0))
+        )
+
+    part = kernel.binate_part(space, packed)
     mask = space.part_masks[part]
     offset = space.offsets[part]
-    result: List[int] = []
+    result = kernel.empty(space)
     for value in range(space.part_sizes[part]):
-        bit = 1 << (offset + value)
-        branch = [cube | mask for cube in cover if cube & bit]
-        selector = (universe & ~mask) | bit
-        for piece in complement(space, branch):
-            result.append(piece & selector)
-    # full absorption is quadratic; on huge intermediate covers we keep
-    # only the cheap merge (redundant cubes are harmless to callers,
-    # they just cost a little extra work downstream)
-    if len(result) <= 256:
-        result = absorb(result)
-    return _merge_part(space, part, result)
-
-
-def _merge_part(space: Space, part: int, cover: List[int]) -> List[int]:
-    """Merge cubes identical outside ``part`` by OR-ing their fields.
-
-    This undoes the fragmentation introduced by splitting on ``part``
-    and often collapses the 2+ branches back into single cubes.
-    """
-    mask = space.part_masks[part]
-    merged = {}
-    for cube in cover:
-        key = cube & ~mask
-        merged[key] = merged.get(key, 0) | (cube & mask)
-    return [key | field for key, field in merged.items()]
+        branch = kernel.cofactor_value(space, packed, part, value)
+        selector = (universe & ~mask) | (1 << (offset + value))
+        pieces = kernel.and_rows(
+            space, complement_packed(space, kernel, branch), selector
+        )
+        result = kernel.concat(space, result, pieces)
+    if kernel.length(result) <= _ABSORB_LIMIT:
+        result = kernel.absorb(space, result)
+    return kernel.merge_part(space, result, part)

@@ -2,16 +2,26 @@
 
 Hot paths inside the minimizer work on bare ``List[int]``; :class:`Cover`
 is the friendly public face used by examples, tests and the higher-level
-encoding code.
+encoding code.  Set-level operations (intersection, union, absorption,
+minterm counting) route through the packed word-matrix kernel
+(:mod:`repro.cubes.bulk`).
+
+Comparison caching: ``__eq__``/``__hash__`` compare a *canonical*
+sorted tuple that is computed lazily and cached, and ``__contains__``
+uses a lazily-built membership set — both caches are invalidated by
+:meth:`add`/assigning :attr:`cubes` and guarded by the list length, so
+the historical ``cover.cubes.append(...)`` mutation style stays safe.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..runtime import InvalidSpecError
 from . import cube as _cube
-from .complement import absorb, complement
+from .bulk import active_kernel
+from .complement import complement
+from .cube import absorb
 from .space import Space
 from .tautology import cover_contains_cube, tautology
 
@@ -21,11 +31,13 @@ __all__ = ["Cover"]
 class Cover:
     """An ordered collection of cubes over a :class:`Space`."""
 
-    __slots__ = ("space", "cubes")
+    __slots__ = ("space", "_cubes", "_canon", "_members")
 
     def __init__(self, space: Space, cubes: Optional[Iterable[int]] = None):
         self.space = space
-        self.cubes: List[int] = list(cubes or [])
+        self._cubes: List[int] = list(cubes or [])
+        self._canon: Optional[Tuple[int, Tuple[int, ...]]] = None
+        self._members: Optional[Tuple[int, frozenset]] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -45,69 +57,109 @@ class Cover:
     # ------------------------------------------------------------------
     # container protocol
     # ------------------------------------------------------------------
+    @property
+    def cubes(self) -> List[int]:
+        return self._cubes
+
+    @cubes.setter
+    def cubes(self, value: Iterable[int]) -> None:
+        self._cubes = list(value)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._canon = None
+        self._members = None
+
+    def _canonical(self) -> Tuple[int, ...]:
+        """Sorted cube tuple, cached until the cube list changes size."""
+        cubes = self._cubes
+        cached = self._canon
+        if cached is not None and cached[0] == len(cubes):
+            return cached[1]
+        canon = tuple(sorted(cubes))
+        self._canon = (len(cubes), canon)
+        return canon
+
     def __len__(self) -> int:
-        return len(self.cubes)
+        return len(self._cubes)
 
     def __iter__(self) -> Iterator[int]:
-        return iter(self.cubes)
+        return iter(self._cubes)
 
     def __contains__(self, cube: int) -> bool:
-        return cube in self.cubes
+        cubes = self._cubes
+        cached = self._members
+        if cached is None or cached[0] != len(cubes):
+            cached = self._members = (len(cubes), frozenset(cubes))
+        return cube in cached[1]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Cover):
             return NotImplemented
-        return self.space == other.space and sorted(self.cubes) == sorted(
-            other.cubes
+        return (
+            self.space == other.space
+            and self._canonical() == other._canonical()
         )
 
     def __hash__(self) -> int:  # pragma: no cover - rarely hashed
-        return hash((self.space, tuple(sorted(self.cubes))))
+        return hash((self.space, self._canonical()))
 
     def add(self, cube: int) -> None:
-        self.cubes.append(cube)
+        self._cubes.append(cube)
+        self._invalidate()
 
     def copy(self) -> "Cover":
-        return Cover(self.space, self.cubes)
+        return Cover(self.space, self._cubes)
 
     # ------------------------------------------------------------------
     # semantics
     # ------------------------------------------------------------------
     def is_tautology(self) -> bool:
-        return tautology(self.space, self.cubes)
+        return tautology(self.space, self._cubes)
 
     def contains_cube(self, cube: int) -> bool:
-        return cover_contains_cube(self.space, self.cubes, cube)
+        return cover_contains_cube(self.space, self._cubes, cube)
 
     def contains_cover(self, other: "Cover") -> bool:
         self._check_space(other)
-        return all(self.contains_cube(c) for c in other.cubes)
+        return all(self.contains_cube(c) for c in other._cubes)
 
     def equivalent(self, other: "Cover") -> bool:
+        self._check_space(other)
+        if self._canonical() == other._canonical():
+            return True  # syntactically identical: skip the semantics
         return self.contains_cover(other) and other.contains_cover(self)
 
     def covers_minterm(self, minterm: int) -> bool:
-        return any(_cube.contains(c, minterm) for c in self.cubes)
+        return any(_cube.contains(c, minterm) for c in self._cubes)
 
     def complemented(self) -> "Cover":
-        return Cover(self.space, complement(self.space, self.cubes))
+        return Cover(self.space, complement(self.space, self._cubes))
 
     def absorbed(self) -> "Cover":
-        return Cover(self.space, absorb(list(self.cubes)))
+        return Cover(self.space, absorb(list(self._cubes)))
 
     def intersected(self, other: "Cover") -> "Cover":
         self._check_space(other)
-        result: List[int] = []
-        for a in self.cubes:
-            for b in other.cubes:
-                c = _cube.intersect(self.space, a, b)
-                if c:
-                    result.append(c)
-        return Cover(self.space, absorb(result))
+        kernel = active_kernel()
+        meets = kernel.cross_intersect(
+            self.space,
+            kernel.pack(self.space, self._cubes),
+            kernel.pack(self.space, other._cubes),
+        )
+        return Cover(
+            self.space,
+            kernel.unpack(self.space, kernel.absorb(self.space, meets)),
+        )
 
     def union(self, other: "Cover") -> "Cover":
         self._check_space(other)
-        return Cover(self.space, absorb(self.cubes + other.cubes))
+        kernel = active_kernel()
+        merged = kernel.absorb(
+            self.space,
+            kernel.pack(self.space, self._cubes + other._cubes),
+        )
+        return Cover(self.space, kernel.unpack(self.space, merged))
 
     def difference(self, other: "Cover") -> "Cover":
         """Set difference via intersection with the complement."""
@@ -132,25 +184,19 @@ class Cover:
         return self.complemented()
 
     def supercube(self) -> int:
-        return _cube.supercube(self.cubes)
+        return _cube.supercube(self._cubes)
 
     def minterm_count(self) -> int:
         """Number of distinct minterms covered (exact, via disjoint sharp)."""
-        disjoint: List[int] = []
-        for cube in self.cubes:
-            pieces = [cube]
-            for seen in disjoint:
-                nxt: List[int] = []
-                for piece in pieces:
-                    nxt.extend(_cube.sharp(self.space, piece, seen))
-                pieces = nxt
-                if not pieces:
-                    break
-            disjoint.extend(pieces)
-        return sum(_cube.cube_size(self.space, c) for c in disjoint)
+        kernel = active_kernel()
+        return kernel.minterm_count(
+            self.space, kernel.pack(self.space, self._cubes)
+        )
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:
-        rows = ", ".join(self.space.format_cube(c) for c in self.cubes[:6])
-        extra = "" if len(self.cubes) <= 6 else f", ... {len(self.cubes)} total"
+        rows = ", ".join(self.space.format_cube(c) for c in self._cubes[:6])
+        extra = (
+            "" if len(self._cubes) <= 6 else f", ... {len(self._cubes)} total"
+        )
         return f"Cover([{rows}{extra}])"

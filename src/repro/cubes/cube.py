@@ -12,6 +12,7 @@ from typing import Iterable, List
 from .space import Space
 
 __all__ = [
+    "absorb",
     "is_void",
     "intersect",
     "contains",
@@ -26,6 +27,30 @@ __all__ = [
     "active_parts",
     "sharp",
 ]
+
+
+def _popcount(x: int) -> int:
+    return bin(x).count("1")
+
+
+def absorb(cover: List[int]) -> List[int]:
+    """Remove cubes contained in another cube of the cover (in place).
+
+    Sorting by descending popcount means a cube can only be absorbed by
+    an earlier one, giving a single quadratic pass with early exits.
+    Containment is pure bitwise subset, so no :class:`Space` is needed;
+    the bulk kernels replicate this result exactly
+    (``kernel.absorb``) for packed covers.
+    """
+    cover.sort(key=_popcount, reverse=True)
+    result: List[int] = []
+    for cube in cover:
+        for big in result:
+            if not cube & ~big:
+                break
+        else:
+            result.append(cube)
+    return result
 
 
 def is_void(space: Space, cube: int) -> bool:

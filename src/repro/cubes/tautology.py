@@ -15,103 +15,67 @@ the vast majority of calls:
 
 The same routine powers cover containment: ``F`` contains a cube ``c``
 iff the cofactor of ``F`` against ``c`` is a tautology.
+
+The per-node work (union folds, unateness, binate selection, value
+cofactors) runs on the packed word-matrix kernel
+(:mod:`repro.cubes.bulk`); covers are packed once at the public
+boundary and stay packed down the whole recursion.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
+from .bulk import active_kernel
 from .space import Space
 
 __all__ = ["tautology", "cover_contains_cube"]
 
-
-def _select_binate_part(space: Space, cover: Sequence[int]) -> int:
-    """Part appearing non-full in the largest number of cubes.
-
-    Ties break toward the part whose most-popular missing value splits
-    the cover most evenly, which keeps the recursion shallow.
-    """
-    best_part = -1
-    best_score = -1
-    for part, mask in enumerate(space.part_masks):
-        score = 0
-        for cube in cover:
-            if cube & mask != mask:
-                score += 1
-        if score > best_score:
-            best_score = score
-            best_part = part
-    return best_part
-
-
-def _is_unate(space: Space, cover: Sequence[int]) -> bool:
-    """True when, in every part, all non-full fields are identical.
-
-    For binary parts this is exactly single-polarity (unate) appearance;
-    for multi-valued parts it is a sufficient condition under which the
-    unate tautology theorem still applies.
-    """
-    for mask in space.part_masks:
-        seen = -1
-        for cube in cover:
-            field = cube & mask
-            if field != mask:
-                if seen < 0:
-                    seen = field
-                elif field != seen:
-                    return False
-    return True
+#: lint marker: this module is a bulk-kernel hot path (RPA008) — no
+#: per-cube Python loops over covers, no Cube/Cover wrapper allocation
+__bulk_kernel__ = True
 
 
 def tautology(space: Space, cover: Sequence[int]) -> bool:
     """Does ``cover`` cover every minterm of ``space``?"""
+    kernel = active_kernel()
+    return tautology_packed(space, kernel, kernel.pack(space, cover))
+
+
+def tautology_packed(space: Space, kernel, packed) -> bool:
+    """Tautology check over an already-packed cover (internal seam for
+    the espresso passes, which keep covers packed across calls)."""
     universe = space.universe
-    stack: List[List[int]] = [list(cover)]
+    stack: List[object] = [packed]
     while stack:
         cur = stack.pop()
-        if not cur:
+        if not kernel.length(cur):
             return False
-        union = 0
-        found_universe = False
-        for cube in cur:
-            union |= cube
-            if cube == universe:
-                found_universe = True
-                break
-        if found_universe:
+        union, has_universe = kernel.union_info(space, cur)
+        if has_universe:
             continue
         if union != universe:
             return False  # some column is empty
-        if _is_unate(space, cur):
+        if kernel.is_unate(space, cur):
             return False  # unate without a universe row
-        part = _select_binate_part(space, cur)
-        mask = space.part_masks[part]
-        not_mask = universe & ~mask
-        offset = space.offsets[part]
+        part = kernel.binate_part(space, cur)
         for value in range(space.part_sizes[part]):
-            bit = 1 << (offset + value)
-            branch: List[int] = []
-            for cube in cur:
-                if cube & bit:
-                    # cofactor: this part raised to full
-                    branch.append(cube | mask)
-            stack.append(branch)
+            stack.append(kernel.cofactor_value(space, cur, part, value))
     return True
 
 
 def cover_contains_cube(space: Space, cover: Sequence[int], cube: int) -> bool:
     """True when the union of ``cover`` contains every minterm of ``cube``."""
+    kernel = active_kernel()
+    return cover_contains_cube_packed(
+        space, kernel, kernel.pack(space, cover), cube
+    )
+
+
+def cover_contains_cube_packed(space: Space, kernel, packed, cube: int) -> bool:
+    """Packed-cover containment: pack once, reuse across many cubes."""
     if not cube:
         return True
-    lifted = space.universe & ~cube
-    cof = [c | lifted for c in cover if _intersects(space, c, cube)]
-    return tautology(space, cof)
-
-
-def _intersects(space: Space, a: int, b: int) -> bool:
-    c = a & b
-    for mask in space.part_masks:
-        if not c & mask:
-            return False
-    return True
+    return tautology_packed(
+        space, kernel, kernel.cofactor_cube(space, packed, cube)
+    )

@@ -13,7 +13,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from ..cubes import Space, absorb, cover_contains_cube
+from ..cubes import Space
+from ..cubes.bulk import active_kernel
+from ..cubes.tautology import cover_contains_cube_packed
 from ..espresso import espresso
 from ..fsm import Fsm, fsm_to_symbolic_cover
 from ..runtime import InvalidSpecError
@@ -67,28 +69,34 @@ def _fast_symbolic_merge(
     The result covers the same minterms as ``cover``; it is simply a
     shorter SOP with wider state literals — which is all the
     face-constraint derivation needs.
+
+    Both steps are bulk-kernel calls on the packed cover: the merge is
+    ``merge_part`` on the state part, and each acceptance test runs
+    through the packed tautology seam against a packed care set.
     """
+    kernel = active_kernel()
     state_part = space.num_parts - 2
-    mask = space.part_masks[state_part]
-    merged: dict = {}
-    for cube in cover:
-        key = cube & ~mask
-        merged[key] = merged.get(key, 0) | (cube & mask)
-    result = absorb([key | field for key, field in merged.items()])
+    result = kernel.absorb(
+        space,
+        kernel.merge_part(space, kernel.pack(space, cover), state_part),
+    )
 
     offset = space.offsets[state_part]
-    care = list(cover) + list(dc)
+    care = kernel.pack(space, list(cover) + list(dc))
     expanded: List[int] = []
-    for cube in result:
+    for idx in range(kernel.length(result)):
+        cube = kernel.row(space, result, idx)
         for value in range(n_states):
             bit = 1 << (offset + value)
             if cube & bit:
                 continue
             candidate = cube | bit
-            if cover_contains_cube(space, care, candidate):
+            if cover_contains_cube_packed(space, kernel, care, candidate):
                 cube = candidate
         expanded.append(cube)
-    return absorb(expanded)
+    return kernel.unpack(
+        space, kernel.absorb(space, kernel.pack(space, expanded))
+    )
 
 
 def constraints_from_cover(

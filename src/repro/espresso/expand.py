@@ -7,23 +7,28 @@ popular column) is taken, which is the essence of ESPRESSO's
 covering-directed expansion without the full blocking/covering matrix
 machinery.
 
-Feasibility is tracked incrementally: for every off-set cube we keep
-the set of parts where it currently has empty intersection with the
-cube being expanded (its *blocking parts*).  An on-set cube never
-intersects the off-set, so that set is non-empty; raising position
-``(part, value)`` is blocked exactly by off-cubes whose only blocking
-part is ``part`` and which admit ``value`` there.  This turns the
-inner feasibility test into a dictionary lookup.
+Feasibility and scoring are whole-cover kernel calls on the packed
+off-set/on-set matrices (:mod:`repro.cubes.bulk`): per raise round,
+``blocked_raises`` folds the *critical* off rows (exactly one blocking
+part) into one blocked-bit mask, and ``best_raise`` scores every
+candidate bit against all remaining on-set rows at once.  The results
+are bit-identical to the historical incremental per-cube bookkeeping:
+recomputing the blocking parts against the grown cube each round gives
+the same critical set the incremental updates maintained.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Sequence
 
-from ..cubes import Space, contains
+from ..cubes import Space
+from ..cubes.bulk import active_kernel
 from ..obs import resolve_tracer
 
 __all__ = ["expand", "expand_cube"]
+
+#: lint marker: this module is a bulk-kernel hot path (RPA008)
+__bulk_kernel__ = True
 
 
 def expand_cube(
@@ -36,61 +41,25 @@ def expand_cube(
 
     ``others`` (remaining on-set cubes) only steer the raise order.
     """
-    masks = space.part_masks
-    n_parts = space.num_parts
+    kernel = active_kernel()
+    return _expand_cube_packed(
+        space,
+        kernel,
+        cube,
+        kernel.pack(space, off),
+        kernel.pack(space, others),
+    )
 
-    # blocking parts of each off cube relative to the current cube
-    blocking: List[Set[int]] = []
-    for c in off:
-        meet = c & cube
-        parts = {p for p in range(n_parts) if not meet & masks[p]}
-        blocking.append(parts)
 
-    # off-cubes at distance one, indexed by their single blocking part
-    critical: Dict[int, List[int]] = {}
-    for idx, parts in enumerate(blocking):
-        if len(parts) == 1:
-            critical.setdefault(next(iter(parts)), []).append(idx)
-
+def _expand_cube_packed(space: Space, kernel, cube: int, off, others) -> int:
     free_bits = space.universe & ~cube
-    bit_part = {}
-    for part in range(n_parts):
-        for value in range(space.part_sizes[part]):
-            bit_part[1 << (part * 0 + space.position(part, value))] = part
-
     while free_bits:
-        best_bit = 0
-        best_key: Tuple[int, int] = (-1, -1)
-        bits = free_bits
-        while bits:
-            bit = bits & -bits
-            bits &= bits - 1
-            part = bit_part[bit]
-            if any(off[i] & bit for i in critical.get(part, ())):
-                continue  # raising this value hits an off cube
-            grown = cube | bit
-            covered = 0
-            column = 0
-            for o in others:
-                if o & bit:
-                    column += 1
-                if not o & ~grown:
-                    covered += 1
-            key = (covered, column)
-            if key > best_key:
-                best_key = key
-                best_bit = bit
+        candidates = free_bits & ~kernel.blocked_raises(space, off, cube)
+        best_bit = kernel.best_raise(space, others, cube, candidates)
         if not best_bit:
             break
-        part = bit_part[best_bit]
         cube |= best_bit
         free_bits &= ~best_bit
-        # raising a value in `part` may unblock off-cubes there
-        for idx, parts in enumerate(blocking):
-            if part in parts and off[idx] & best_bit:
-                parts.discard(part)
-                if len(parts) == 1:
-                    critical.setdefault(next(iter(parts)), []).append(idx)
     return cube
 
 
@@ -108,26 +77,31 @@ def expand(
     this pass visits (``espresso.expand.cubes``).
     """
     resolve_tracer(tracer).count("espresso.expand.cubes", len(onset))
-    order = sorted(range(len(onset)), key=lambda i: bin(onset[i]).count("1"))
+    kernel = active_kernel()
+    onset_packed = kernel.pack(space, onset)
+    off_packed = kernel.pack(space, off)
+    weights = kernel.popcounts(space, onset_packed)
+    order = sorted(range(len(onset)), key=weights.__getitem__)
     covered = [False] * len(onset)
-    result: List[int] = []
+    primes: List[int] = []
     for idx in order:
         if covered[idx]:
             continue
-        others = [onset[j] for j in order if j != idx and not covered[j]]
-        prime = expand_cube(space, onset[idx], off, others)
+        others = kernel.gather(
+            space,
+            onset_packed,
+            [j for j in order if j != idx and not covered[j]],
+        )
+        prime = _expand_cube_packed(
+            space, kernel, kernel.row(space, onset_packed, idx),
+            off_packed, others,
+        )
+        swallowed = kernel.contained_rows(space, onset_packed, prime)
         for j in order:
-            if j != idx and not covered[j] and contains(prime, onset[j]):
+            if j != idx and not covered[j] and swallowed[j]:
                 covered[j] = True
-        result.append(prime)
+        primes.append(prime)
     # a later prime can swallow an earlier one
-    out: List[int] = []
-    for i, c in enumerate(result):
-        if any(
-            contains(d, c) and (d != c or j < i)
-            for j, d in enumerate(result)
-            if j != i
-        ):
-            continue
-        out.append(c)
-    return out
+    primes_packed = kernel.pack(space, primes)
+    keep = kernel.dedup_keep_mask(space, primes_packed)
+    return kernel.unpack(space, kernel.select(space, primes_packed, keep))

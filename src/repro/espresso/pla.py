@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cubes import Space, absorb, complement, contains
+from ..cubes.bulk import active_kernel
 from ..runtime import InvalidSpecError, ParseError
 
 __all__ = ["Pla", "parse_pla", "format_pla"]
@@ -44,13 +45,16 @@ class Pla:
         return len(self.onset)
 
     def literal_count(self) -> int:
-        """Input literals asserted across the on-set (area proxy)."""
-        total = 0
-        for cube in self.onset:
-            for part in range(self.n_inputs):
-                if self.space.field(cube, part) != 0b11:
-                    total += 1
-        return total
+        """Input literals asserted across the on-set (area proxy).
+
+        One bulk ``nonfull_counts`` call: a literal is a non-full
+        input field, so the count is the sum over input parts.
+        """
+        kernel = active_kernel()
+        counts = kernel.nonfull_counts(
+            self.space, kernel.pack(self.space, self.onset)
+        )
+        return sum(counts[: self.n_inputs])
 
     def gate_area(self) -> int:
         """Crude PLA area model: terms x (2*inputs + outputs)."""

@@ -9,24 +9,26 @@ i.e. the smallest cube containing the part of ``c`` that no other cube
 (nor the don't-care set) covers.  Reduced cubes give the following
 EXPAND pass room to move to a *different* prime, which is how the
 espresso loop escapes local minima.
+
+The pass stays on packed word-matrix covers throughout
+(:mod:`repro.cubes.bulk`): the cofactor-against-pivot, the recursive
+complement and the supercube fold are each one kernel call, and the
+working cover is updated row-wise between reductions.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
-from ..cubes import Space, complement, supercube
+from ..cubes import Space
+from ..cubes.bulk import active_kernel
+from ..cubes.complement import complement_packed
 from ..obs import resolve_tracer
 
 __all__ = ["reduce_cover", "reduce_cube"]
 
-
-def _intersects(space: Space, a: int, b: int) -> bool:
-    c = a & b
-    for mask in space.part_masks:
-        if not c & mask:
-            return False
-    return True
+#: lint marker: this module is a bulk-kernel hot path (RPA008)
+__bulk_kernel__ = True
 
 
 def reduce_cube(
@@ -40,12 +42,18 @@ def reduce_cube(
     what to do; :func:`reduce_cover` keeps such cubes untouched and
     leaves their removal to IRREDUNDANT).
     """
-    lifted = space.universe & ~cube
-    cofactored = [c | lifted for c in rest if _intersects(space, c, cube)]
-    comp = complement(space, cofactored)
-    if not comp:
+    kernel = active_kernel()
+    return _reduce_cube_packed(
+        space, kernel, cube, kernel.pack(space, rest)
+    )
+
+
+def _reduce_cube_packed(space: Space, kernel, cube: int, rest) -> int:
+    cofactored = kernel.cofactor_cube(space, rest, cube)
+    comp = complement_packed(space, kernel, cofactored)
+    if not kernel.length(comp):
         return 0
-    return cube & supercube(comp)
+    return cube & kernel.or_fold(space, comp)
 
 
 def reduce_cover(
@@ -63,15 +71,20 @@ def reduce_cover(
     ``tracer`` counts the cubes visited (``espresso.reduce.cubes``).
     """
     resolve_tracer(tracer).count("espresso.reduce.cubes", len(onset))
+    kernel = active_kernel()
+    cubes = kernel.pack(space, onset)
+    dc = kernel.pack(space, dcset)
+    weights = kernel.popcounts(space, cubes)
     order = sorted(
-        range(len(onset)),
-        key=lambda i: bin(onset[i]).count("1"),
-        reverse=True,
+        range(len(onset)), key=weights.__getitem__, reverse=True
     )
-    cubes = list(onset)
     for idx in order:
-        rest = [cubes[j] for j in range(len(cubes)) if j != idx]
-        reduced = reduce_cube(space, cubes[idx], rest + list(dcset))
+        rest = kernel.concat(
+            space, kernel.delete_row(space, cubes, idx), dc
+        )
+        reduced = _reduce_cube_packed(
+            space, kernel, kernel.row(space, cubes, idx), rest
+        )
         if reduced:
-            cubes[idx] = reduced
-    return cubes
+            cubes = kernel.with_row(space, cubes, idx, reduced)
+    return kernel.unpack(space, cubes)

@@ -13,15 +13,25 @@ Both steps preserve cover semantics exactly; only the wiring density
 changes.  ``make_sparse`` works on any multi-valued space where the
 last part plays the output role (lowering is applied to it, raising
 to the rest).
+
+The working covers stay packed (:mod:`repro.cubes.bulk`): containment
+checks go through the packed tautology seam and off-set avoidance is a
+single ``intersects_any`` kernel call per attempted raise.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..cubes import Space, complement, cover_contains_cube
+from ..cubes import Space
+from ..cubes.bulk import active_kernel
+from ..cubes.complement import complement_packed
+from ..cubes.tautology import cover_contains_cube_packed
 
 __all__ = ["make_sparse", "lower_outputs", "raise_inputs"]
+
+#: lint marker: this module is a bulk-kernel hot path (RPA008)
+__bulk_kernel__ = True
 
 
 def lower_outputs(
@@ -30,30 +40,28 @@ def lower_outputs(
     dcset: Sequence[int] = (),
 ) -> List[int]:
     """Drop redundant output values from each cube (last part)."""
+    kernel = active_kernel()
     part = space.num_parts - 1
-    mask = space.part_masks[part]
-    offset = space.offsets[part]
-    result = list(cover)
-    for idx in range(len(result)):
-        cube = result[idx]
+    result = kernel.pack(space, cover)
+    dc = kernel.pack(space, dcset)
+    for idx in range(kernel.length(result)):
+        cube = kernel.row(space, result, idx)
         field = space.field(cube, part)
         for value in range(space.part_sizes[part]):
             bit = 1 << value
             if not field & bit or field == bit:
                 continue  # not asserted, or last remaining value
-            candidate_field = field & ~bit
-            shrunk = space.with_field(cube, part, bit)
             # the cube restricted to this output value
-            rest = (
-                result[:idx]
-                + result[idx + 1 :]
-                + list(dcset)
+            shrunk = space.with_field(cube, part, bit)
+            rest = kernel.concat(
+                space, kernel.delete_row(space, result, idx), dc
             )
-            if cover_contains_cube(space, rest, shrunk):
-                field = candidate_field
+            if cover_contains_cube_packed(space, kernel, rest, shrunk):
+                field = field & ~bit
                 cube = space.with_field(cube, part, field)
-        result[idx] = cube
-    return [c for c in result if space.field(c, part)]
+        result = kernel.with_row(space, result, idx, cube)
+    keep = kernel.admits_rows(space, result, space.part_masks[part])
+    return kernel.unpack(space, kernel.select(space, result, keep))
 
 
 def raise_inputs(
@@ -63,29 +71,29 @@ def raise_inputs(
     dcset: Sequence[int] = (),
 ) -> List[int]:
     """Remove input literals while the cube avoids the off-set."""
+    kernel = active_kernel()
     if off is None:
-        off = complement(space, list(cover) + list(dcset))
-    result = []
-    for cube in cover:
-        free = (space.universe & ~cube) & ~space.part_masks[
-            space.num_parts - 1
-        ]
+        off_packed = complement_packed(
+            space,
+            kernel,
+            kernel.pack(space, list(cover) + list(dcset)),
+        )
+    else:
+        off_packed = kernel.pack(space, off)
+    output_mask = space.part_masks[space.num_parts - 1]
+    result: List[int] = []
+    packed = kernel.pack(space, cover)
+    for idx in range(kernel.length(packed)):
+        cube = kernel.row(space, packed, idx)
+        free = (space.universe & ~cube) & ~output_mask
         while free:
             bit = free & -free
             free &= free - 1
             grown = cube | bit
-            if not any(_intersects(space, grown, c) for c in off):
+            if not kernel.intersects_any(space, off_packed, grown):
                 cube = grown
         result.append(cube)
     return result
-
-
-def _intersects(space: Space, a: int, b: int) -> bool:
-    c = a & b
-    for mask in space.part_masks:
-        if not c & mask:
-            return False
-    return True
 
 
 def make_sparse(

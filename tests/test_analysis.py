@@ -255,6 +255,53 @@ class TestRuleFixtures:
         report = _lint(tmp_path, {"harness/x.py": good})
         assert report.findings_for("RPA007") == []
 
+    def test_bulk_kernel_loop_true_positive(self, tmp_path):
+        bad = (
+            "__bulk_kernel__ = True\n"
+            "def f(space, cover):\n"
+            "    return [c for c in cover if c]\n"
+        )
+        report = _lint(tmp_path, {"cubes/fast.py": bad})
+        (finding,) = report.findings_for("RPA008")
+        assert "per-cube" in finding.message
+
+    def test_bulk_kernel_sees_through_sorted(self, tmp_path):
+        bad = (
+            "__bulk_kernel__ = True\n"
+            "def f(onset):\n"
+            "    for c in sorted(onset):\n"
+            "        pass\n"
+        )
+        report = _lint(tmp_path, {"cubes/fast.py": bad})
+        assert report.findings_for("RPA008")
+
+    def test_bulk_kernel_wrapper_true_positive(self, tmp_path):
+        bad = (
+            "__bulk_kernel__ = True\n"
+            "def f(space, cover):\n"
+            "    return Cover(space, cover)\n"
+        )
+        report = _lint(tmp_path, {"cubes/fast.py": bad})
+        (finding,) = report.findings_for("RPA008")
+        assert "Cover()" in finding.message
+
+    def test_bulk_kernel_index_loops_clean(self, tmp_path):
+        good = (
+            "__bulk_kernel__ = True\n"
+            "def f(space, kernel, packed, order):\n"
+            "    for idx in order:\n"
+            "        kernel.row(space, packed, idx)\n"
+            "    for value in range(4):\n"
+            "        pass\n"
+        )
+        report = _lint(tmp_path, {"cubes/fast.py": good})
+        assert report.findings_for("RPA008") == []
+
+    def test_bulk_kernel_unmarked_module_exempt(self, tmp_path):
+        loopy = "def f(cover):\n    return [c for c in cover]\n"
+        report = _lint(tmp_path, {"cubes/slow.py": loopy})
+        assert report.findings_for("RPA008") == []
+
     def test_syntax_error_becomes_rpa000(self, tmp_path):
         report = _lint(tmp_path, {"core/broken.py": "def f(:\n"})
         (finding,) = report.findings_for("RPA000")
