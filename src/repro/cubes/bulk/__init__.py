@@ -10,7 +10,7 @@ counting).  Two interchangeable backends implement one interface:
 * ``python`` — pure-Python int rows, always available
   (:class:`~repro.cubes.bulk.pybackend.PythonKernel`);
 * ``numpy``  — uint64 limb matrices, selected automatically at import
-  when numpy is importable
+  when numpy >= 2.0 is importable (``np.bitwise_count`` is required)
   (:class:`~repro.cubes.bulk.npbackend.NumpyKernel`).
 
 Selection is overridable with the environment variable
@@ -45,7 +45,7 @@ _KERNELS: Dict[str, object] = {"python": PythonKernel()}
 
 try:
     from .npbackend import NumpyKernel
-except ImportError:  # numpy not installed: pure-Python fallback
+except ImportError:  # numpy missing or < 2.0: pure-Python fallback
     NumpyKernel = None  # type: ignore[assignment,misc]
 else:
     _KERNELS["numpy"] = NumpyKernel()
@@ -64,7 +64,7 @@ def get_kernel(name: str):
         raise InvalidSpecError(
             f"unknown cube kernel {name!r}; available: "
             f"{', '.join(available_kernels())} "
-            "(the numpy backend needs numpy importable)"
+            "(the numpy backend needs numpy >= 2.0 importable)"
         ) from None
 
 

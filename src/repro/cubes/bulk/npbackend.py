@@ -31,6 +31,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+if not hasattr(np, "bitwise_count"):  # numpy < 2.0
+    raise ImportError(
+        "the numpy cube-kernel backend needs numpy >= 2.0 "
+        "(np.bitwise_count); with an older numpy the pure-Python "
+        "backend is used instead"
+    )
+
 from ..space import Space
 from .pybackend import PythonKernel
 

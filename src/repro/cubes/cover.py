@@ -8,14 +8,17 @@ minterm counting) route through the packed word-matrix kernel
 
 Comparison caching: ``__eq__``/``__hash__`` compare a *canonical*
 sorted tuple that is computed lazily and cached, and ``__contains__``
-uses a lazily-built membership set — both caches are invalidated by
-:meth:`add`/assigning :attr:`cubes` and guarded by the list length, so
-the historical ``cover.cubes.append(...)`` mutation style stays safe.
+uses a lazily-built membership set.  The cube list handed out by
+:attr:`cubes` is a :class:`_CubeList` whose mutating methods notify
+the owning cover, so every mutation path — :meth:`add`, assigning
+:attr:`cubes`, and the historical in-place styles
+(``cover.cubes.append(...)``, ``cover.cubes.sort()``,
+``cover.cubes[0] = ...``) — invalidates both caches exactly.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, Optional, Tuple
 
 from ..runtime import InvalidSpecError
 from . import cube as _cube
@@ -28,6 +31,57 @@ from .tautology import cover_contains_cube, tautology
 __all__ = ["Cover"]
 
 
+class _CubeList(list):
+    """A ``list`` that invalidates its owning :class:`Cover`'s caches.
+
+    Handing callers the real, mutable cube list is part of the
+    historical API, so instead of returning a defensive copy every
+    mutating ``list`` method notifies the owner — same-length edits
+    (``cover.cubes[0] = x``, ``sort()``, a ``pop()`` followed by an
+    ``append()``) invalidate the caches just like ``append()`` does.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "Cover", iterable: Iterable[int] = ()) -> None:
+        super().__init__(iterable)
+        self._owner = owner
+
+
+def _mutator(name: str):
+    method = getattr(list, name)
+
+    def call(self, *args, **kwargs):
+        # _owner may be unset mid-unpickle, when items are appended
+        # before the slot state is restored
+        owner = getattr(self, "_owner", None)
+        if owner is not None:
+            owner._invalidate()
+        return method(self, *args, **kwargs)
+
+    call.__name__ = name
+    call.__qualname__ = f"_CubeList.{name}"
+    return call
+
+
+for _name in (
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "clear",
+    "sort",
+    "reverse",
+    "__setitem__",
+    "__delitem__",
+    "__iadd__",
+    "__imul__",
+):
+    setattr(_CubeList, _name, _mutator(_name))
+del _name
+
+
 class Cover:
     """An ordered collection of cubes over a :class:`Space`."""
 
@@ -35,9 +89,9 @@ class Cover:
 
     def __init__(self, space: Space, cubes: Optional[Iterable[int]] = None):
         self.space = space
-        self._cubes: List[int] = list(cubes or [])
-        self._canon: Optional[Tuple[int, Tuple[int, ...]]] = None
-        self._members: Optional[Tuple[int, frozenset]] = None
+        self._cubes: _CubeList = _CubeList(self, cubes or ())
+        self._canon: Optional[Tuple[int, ...]] = None
+        self._members: Optional[frozenset] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -58,12 +112,12 @@ class Cover:
     # container protocol
     # ------------------------------------------------------------------
     @property
-    def cubes(self) -> List[int]:
+    def cubes(self) -> "_CubeList":
         return self._cubes
 
     @cubes.setter
     def cubes(self, value: Iterable[int]) -> None:
-        self._cubes = list(value)
+        self._cubes = _CubeList(self, value)
         self._invalidate()
 
     def _invalidate(self) -> None:
@@ -71,13 +125,10 @@ class Cover:
         self._members = None
 
     def _canonical(self) -> Tuple[int, ...]:
-        """Sorted cube tuple, cached until the cube list changes size."""
-        cubes = self._cubes
-        cached = self._canon
-        if cached is not None and cached[0] == len(cubes):
-            return cached[1]
-        canon = tuple(sorted(cubes))
-        self._canon = (len(cubes), canon)
+        """Sorted cube tuple, cached until the cube list mutates."""
+        canon = self._canon
+        if canon is None:
+            canon = self._canon = tuple(sorted(self._cubes))
         return canon
 
     def __len__(self) -> int:
@@ -87,11 +138,10 @@ class Cover:
         return iter(self._cubes)
 
     def __contains__(self, cube: int) -> bool:
-        cubes = self._cubes
-        cached = self._members
-        if cached is None or cached[0] != len(cubes):
-            cached = self._members = (len(cubes), frozenset(cubes))
-        return cube in cached[1]
+        members = self._members
+        if members is None:
+            members = self._members = frozenset(self._cubes)
+        return cube in members
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Cover):
@@ -105,8 +155,7 @@ class Cover:
         return hash((self.space, self._canonical()))
 
     def add(self, cube: int) -> None:
-        self._cubes.append(cube)
-        self._invalidate()
+        self._cubes.append(cube)  # _CubeList.append invalidates
 
     def copy(self) -> "Cover":
         return Cover(self.space, self._cubes)

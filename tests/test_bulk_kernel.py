@@ -292,6 +292,24 @@ class TestKernelSelection:
             assert active_kernel().name == "python"
         assert active_kernel().name == before
 
+    @needs_numpy
+    def test_npbackend_refuses_numpy_1x(self, monkeypatch):
+        # numpy < 2.0 lacks np.bitwise_count; the backend must raise
+        # ImportError at import so registration falls back to python
+        # instead of crashing later inside a vectorized primitive
+        import importlib
+
+        import numpy as np
+
+        import repro.cubes.bulk.npbackend as npbackend
+
+        monkeypatch.delattr(np, "bitwise_count")
+        with pytest.raises(ImportError, match="numpy >= 2.0"):
+            importlib.reload(npbackend)
+        # the guard fires before any definitions, so the previously
+        # loaded module (and the registered kernel) stay intact
+        assert npbackend.NumpyKernel is not None
+
     @pytest.mark.parametrize("name", ["python"] + (["numpy"] if HAS_NUMPY else []))
     def test_env_var_selects_backend(self, name):
         env = dict(os.environ, REPRO_KERNEL=name)

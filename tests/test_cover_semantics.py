@@ -232,6 +232,30 @@ class TestCoverClass:
         assert not Cover.empty(space).is_tautology()
         assert Cover.empty(space).complemented().is_tautology()
 
+    def test_caches_survive_in_place_mutation(self):
+        # same-length edits through the public list must invalidate the
+        # __eq__/__contains__ caches, not just append/add
+        space = Space.binary(2)
+        a = Cover.from_strings(space, ["01", "10"])
+        b = Cover.from_strings(space, ["01", "11"])
+        assert a != b
+        assert space.parse_cube("10") in a
+        a.cubes[1] = space.parse_cube("11")  # same length: slot overwrite
+        assert a == b
+        assert space.parse_cube("10") not in a
+        assert space.parse_cube("11") in a
+        a.cubes.pop()
+        a.cubes.append(space.parse_cube("10"))  # pop+append: length unchanged
+        assert a != b
+        assert space.parse_cube("10") in a
+        c = Cover.from_strings(space, ["10", "01"])
+        assert a == c  # order-insensitive after the mutations
+        a.cubes.sort()
+        assert a == c
+        a.cubes.clear()
+        assert a == Cover.empty(space)
+        assert space.parse_cube("10") not in a
+
 
 class TestCoverOperators:
     def brute(self, cover):
