@@ -89,7 +89,7 @@ from .solvers import (
 )
 from .stateassign import assign_states
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "PicolaOptions",

@@ -34,6 +34,14 @@ TAXONOMY_PACKAGES = KERNEL_PACKAGES + (
     "repro/stateassign/",
 )
 
+#: determinism scope: the kernels plus the replay-critical generators
+#: (fsm simulation/synthesis and the fuzz subsystem promise that every
+#: run is a pure function of its recorded seeds)
+DETERMINISM_PACKAGES = KERNEL_PACKAGES + (
+    "repro/fsm/",
+    "repro/fuzz/",
+)
+
 #: functions whose invocation marks a loop as "doing solver work"
 KERNEL_CALLS = frozenset(
     {
@@ -312,7 +320,7 @@ class DeterminismRule(Rule):
         PYTHONHASHSEED) all break replay.  Seed a random.Random, and
         sorted() any set before iterating.
     """
-    scope = KERNEL_PACKAGES
+    scope = DETERMINISM_PACKAGES
 
     _RANDOM_FNS = frozenset(
         {

@@ -19,6 +19,11 @@ from ..runtime import InvalidSpecError, ParseError
 
 __all__ = ["Pla", "parse_pla", "format_pla"]
 
+#: .i/.o ceiling for parsed files — beyond this the Space constructor
+#: alone takes unbounded time/memory, so a corrupt header must fail
+#: as a ParseError instead of wedging the process
+MAX_PARSED_WIDTH = 10**6
+
 
 @dataclass
 class Pla:
@@ -148,8 +153,23 @@ def parse_pla(text: str) -> Pla:
             rows.append((in_part, out_part))
     if n_inputs is None or n_outputs is None:
         raise ParseError("PLA missing .i or .o header")
-    pla = Pla(n_inputs, n_outputs, input_labels=input_labels,
-              output_labels=output_labels)
+    if n_inputs < 0 or n_outputs < 1:
+        raise ParseError(
+            f"bad PLA shape .i {n_inputs} .o {n_outputs} "
+            "(need .i >= 0 and .o >= 1)"
+        )
+    if n_inputs > MAX_PARSED_WIDTH or n_outputs > MAX_PARSED_WIDTH:
+        raise ParseError(
+            f"PLA header .i {n_inputs} .o {n_outputs} exceeds the "
+            f"parser ceiling of {MAX_PARSED_WIDTH}"
+        )
+    try:
+        pla = Pla(n_inputs, n_outputs, input_labels=input_labels,
+                  output_labels=output_labels)
+    except InvalidSpecError as exc:
+        # a malformed *file* is a parse failure, whatever the
+        # container-level validation calls it
+        raise ParseError(str(exc)) from exc
     for in_part, out_part in rows:
         if len(in_part) != n_inputs or len(out_part) != n_outputs:
             raise ParseError(f"row width mismatch: {in_part} {out_part}")

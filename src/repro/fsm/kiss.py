@@ -88,6 +88,12 @@ def parse_kiss(
     fsm.reset_state = reset
     if not fsm.transitions:
         raise ParseError("KISS file has no transitions")
+    if fsm.n_states == 0:
+        # every row used the don't-care state marker: nothing to
+        # encode, and downstream consumers index fsm.states[0]
+        raise ParseError(
+            "KISS file has no real states (only don't-care rows)"
+        )
     if n_terms is not None and n_terms != len(fsm.transitions):
         raise ParseError(
             f".p says {n_terms} terms, file has {len(fsm.transitions)}"

@@ -16,6 +16,7 @@ whole assign/encode/minimize pipeline preserves behaviour.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -109,10 +110,40 @@ class EncodedSimulator:
         return next_code, outputs
 
 
+def _resolve_rng(
+    seed: Optional[int], rng: Optional[random.Random], where: str
+) -> random.Random:
+    """One explicit randomness source: ``rng`` wins, then ``seed``.
+
+    Passing neither is deprecated — verification runs must be
+    replayable from their recorded seed, so the implicit default
+    (seed 0) now warns before falling back.
+    """
+    if rng is not None:
+        if seed is not None:
+            raise InvalidSpecError(f"{where}: pass seed or rng, not both")
+        return rng
+    if seed is None:
+        warnings.warn(
+            f"{where}: calling without seed= or rng= is deprecated; "
+            "pass an explicit seed so the run is reproducible "
+            "(falling back to seed 0)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        seed = 0
+    return random.Random(seed)
+
+
 def random_input_sequence(
-    n_inputs: int, length: int, seed: int = 0
+    n_inputs: int,
+    length: int,
+    seed: Optional[int] = None,
+    *,
+    rng: Optional[random.Random] = None,
 ) -> List[str]:
-    rng = random.Random(seed)
+    """``length`` random input vectors from an explicit seed or rng."""
+    rng = _resolve_rng(seed, rng, "random_input_sequence")
     return [
         "".join(rng.choice("01") for _ in range(n_inputs))
         for _ in range(length)
@@ -124,14 +155,31 @@ def cosimulate(
     pla: Pla,
     codes: dict,
     n_bits: int,
-    sequence: Sequence[str],
+    sequence: Optional[Sequence[str]] = None,
+    *,
+    steps: int = 256,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> int:
     """Run both simulators in lock step; returns checked-step count.
 
     Raises :class:`CosimMismatch` on the first divergence from the
     specified behaviour.  Unspecified (state, input) steps re-seed the
     encoded state from the symbolic one and are not counted.
+
+    The input sequence may be passed explicitly, or generated from
+    ``steps`` plus an explicit ``seed``/``rng`` (exactly
+    :func:`random_input_sequence`), so verification is reproducible
+    end-to-end from one recorded seed.
     """
+    if sequence is None:
+        sequence = random_input_sequence(
+            fsm.n_inputs, steps, seed=seed, rng=rng
+        )
+    elif seed is not None or rng is not None:
+        raise InvalidSpecError(
+            "cosimulate: pass sequence or seed/rng, not both"
+        )
     sym = SymbolicSimulator(fsm)
     enc = EncodedSimulator(
         pla, fsm.n_inputs, n_bits, codes[sym.state]

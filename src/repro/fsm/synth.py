@@ -61,7 +61,7 @@ def synthesize_fsm(
     big_states = set(rng.sample(states, min(extra, n_states)))
     templates = {
         size: _partition_inputs(rng, n_inputs, size)
-        for size in {base, base + 1}
+        for size in sorted({base, base + 1})
     }
     # sparse machines cannot afford many deviations or nothing merges
     deviation = 0.45 if base >= 2 else 0.25

@@ -1,0 +1,83 @@
+"""End-to-end pipeline fuzzing: generators, oracle, corpus, campaigns.
+
+The subsystem behind ``picola fuzz``:
+
+* :mod:`repro.fuzz.generators` — seeded workload generators (random,
+  FSM-backed, Baer bounded-length prefix groups, Dubé 2-D grids,
+  pathological shapes), all pure functions of ``(seed, scale)``;
+* :mod:`repro.fuzz.oracle` — :func:`run_case` dispatches an instance
+  through the solver registry under a budget, verifies the result
+  (injectivity, code-length bounds, honest satisfaction claims,
+  co-simulation) and classifies every outcome — OK / INFEASIBLE /
+  TIMEOUT / VIOLATION / CRASH — without ever crashing the harness;
+* :mod:`repro.fuzz.corpus` — findings minimized and committed as
+  content-addressed JSON regressions under ``tests/corpus/``;
+* :mod:`repro.fuzz.runner` — deterministic campaigns over the parallel
+  experiment engine, with a fault-hardening pass that re-runs each
+  case with faults armed at the budget/oracle seams;
+* :mod:`repro.fuzz.strategies` — optional hypothesis adapters.
+"""
+
+from .corpus import (
+    CorpusEntry,
+    entry_for_finding,
+    load_corpus,
+    minimize_case,
+    parser_entry,
+    replay_entry,
+    save_entry,
+)
+from .generators import (
+    FuzzCase,
+    GeneratorSpec,
+    generate_case,
+    get_generator,
+    list_generators,
+    register_generator,
+)
+from .oracle import (
+    CLASSIFICATIONS,
+    CRASH,
+    FINDINGS,
+    INFEASIBLE,
+    OK,
+    TIMEOUT,
+    VIOLATION,
+    CaseOutcome,
+    run_case,
+    verify_result,
+)
+from .runner import FuzzConfig, FuzzReport, run_fuzz
+
+__all__ = [
+    # generators
+    "FuzzCase",
+    "GeneratorSpec",
+    "register_generator",
+    "get_generator",
+    "list_generators",
+    "generate_case",
+    # oracle
+    "OK",
+    "INFEASIBLE",
+    "TIMEOUT",
+    "VIOLATION",
+    "CRASH",
+    "CLASSIFICATIONS",
+    "FINDINGS",
+    "CaseOutcome",
+    "run_case",
+    "verify_result",
+    # corpus
+    "CorpusEntry",
+    "entry_for_finding",
+    "parser_entry",
+    "save_entry",
+    "load_corpus",
+    "replay_entry",
+    "minimize_case",
+    # campaigns
+    "FuzzConfig",
+    "FuzzReport",
+    "run_fuzz",
+]

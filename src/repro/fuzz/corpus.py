@@ -1,0 +1,281 @@
+"""The fuzz corpus: distilled findings committed as regression tests.
+
+Every finding a fuzz campaign surfaces is *minimized* (constraints,
+then symbols, then the FSM are dropped while the failure reproduces)
+and written as one small JSON file under the corpus directory —
+``tests/corpus/`` in this repository — where CI replays it forever,
+the way schemathesis keeps ``test-corpus/`` next to its generation
+strategies.
+
+Entry kinds
+-----------
+* ``case``  — a serialized :class:`~repro.fuzz.FuzzCase` plus the
+  solver that failed on it.  ``expect`` records the classification a
+  *fixed* tree must produce; a fresh finding is written with
+  ``expect: null``, which replays green only once the instance stops
+  being a finding (VIOLATION/CRASH).
+* ``kiss`` / ``pla`` — raw malformed text that must raise
+  :class:`~repro.runtime.ParseError`; regressions for every parser
+  crash class the generators surfaced.
+
+File names are content-addressed (``<kind>-<family>-<digest>.json``),
+so re-discovering a known failure is idempotent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..runtime import InvalidSpecError, ParseError, faults
+from .generators import FuzzCase
+from .oracle import FINDINGS, CaseOutcome, run_case
+
+__all__ = [
+    "CorpusEntry",
+    "entry_for_finding",
+    "parser_entry",
+    "save_entry",
+    "load_corpus",
+    "replay_entry",
+    "minimize_case",
+]
+
+SCHEMA = 1
+
+#: replay timeout: corpus entries are minimized, so generous is cheap
+REPLAY_TIMEOUT = 30.0
+
+
+@dataclass
+class CorpusEntry:
+    """One corpus file, parsed."""
+
+    kind: str  # "case" | "kiss" | "pla"
+    data: Dict[str, Any]
+    path: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return os.path.basename(self.path) if self.path else "<memory>"
+
+
+def _digest(payload: Dict[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha1(canonical).hexdigest()[:10]
+
+
+def entry_for_finding(
+    outcome: CaseOutcome, case: FuzzCase
+) -> CorpusEntry:
+    """Build the corpus entry for one fuzz finding."""
+    data: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "kind": "case",
+        "solver": outcome.solver,
+        "found": outcome.classification,
+        "detail": outcome.detail,
+        "expect": None,
+        "case": case.to_dict(),
+    }
+    return CorpusEntry(kind="case", data=data)
+
+
+def parser_entry(
+    kind: str, text: str, *, note: str = ""
+) -> CorpusEntry:
+    """A malformed-text regression: ``kind`` is ``kiss`` or ``pla``."""
+    if kind not in ("kiss", "pla"):
+        raise InvalidSpecError(f"parser entry kind must be kiss/pla, not {kind!r}")
+    data = {
+        "schema": SCHEMA,
+        "kind": kind,
+        "text": text,
+        "expect": "ParseError",
+        "note": note,
+    }
+    return CorpusEntry(kind=kind, data=data)
+
+
+def save_entry(directory: str, entry: CorpusEntry) -> str:
+    """Write ``entry`` under ``directory``; returns the path.
+
+    Idempotent: the file name is derived from the entry content, so a
+    re-discovered failure overwrites its own file.
+    """
+    faults.trip("fuzz.corpus.save")
+    os.makedirs(directory, exist_ok=True)
+    if entry.kind == "case":
+        family = entry.data["case"]["family"]
+    else:
+        family = entry.kind
+    name = f"{entry.kind}-{family}-{_digest(entry.data)}.json"
+    path = os.path.join(directory, name)
+    with open(path, "w") as handle:
+        json.dump(entry.data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    entry.path = path
+    return path
+
+
+def load_corpus(directory: str) -> List[CorpusEntry]:
+    """Parse every ``*.json`` corpus file, sorted by name."""
+    entries: List[CorpusEntry] = []
+    if not os.path.isdir(directory):
+        return entries
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        with open(path) as handle:
+            try:
+                data = json.load(handle)
+            except ValueError as exc:
+                raise ParseError(
+                    f"corpus file {name} is not valid JSON: {exc}"
+                ) from exc
+        kind = data.get("kind")
+        if data.get("schema") != SCHEMA or kind not in (
+            "case", "kiss", "pla",
+        ):
+            raise ParseError(
+                f"corpus file {name} has unknown schema/kind "
+                f"({data.get('schema')!r}/{kind!r})"
+            )
+        entries.append(CorpusEntry(kind=kind, data=data, path=path))
+    return entries
+
+
+def replay_entry(
+    entry: CorpusEntry, *, timeout: Optional[float] = REPLAY_TIMEOUT
+) -> Tuple[bool, str]:
+    """Re-run one corpus entry; ``(ok, detail)``.
+
+    * parser entries must raise :class:`ParseError`;
+    * ``case`` entries must reproduce ``expect`` when set, and must
+      simply no longer be a finding when ``expect`` is null.
+    """
+    if entry.kind in ("kiss", "pla"):
+        from ..espresso import parse_pla
+        from ..fsm import parse_kiss
+
+        parser = parse_kiss if entry.kind == "kiss" else parse_pla
+        try:
+            parser(entry.data["text"])
+        except ParseError:
+            return True, "raised ParseError"
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:  # repro: noqa[RPA003] -- replay records the wrong exception class as a red result instead of crashing the loader
+            return False, (
+                f"raised {type(exc).__name__} instead of ParseError: "
+                f"{exc}"
+            )
+        return False, "parsed successfully, expected ParseError"
+
+    case = FuzzCase.from_dict(entry.data["case"])
+    outcome = run_case(
+        case, entry.data.get("solver", "picola"), timeout=timeout
+    )
+    expect = entry.data.get("expect")
+    if expect is not None:
+        if outcome.classification == expect:
+            return True, f"reproduced {expect}"
+        return False, (
+            f"expected {expect}, got {outcome.classification}"
+            + (f" [{outcome.detail}]" if outcome.detail else "")
+        )
+    if outcome.classification in FINDINGS:
+        return False, (
+            f"still a finding: {outcome.classification}"
+            + (f" [{outcome.detail}]" if outcome.detail else "")
+        )
+    return True, f"no longer a finding ({outcome.classification})"
+
+
+# ----------------------------------------------------------------------
+# distillation
+# ----------------------------------------------------------------------
+def minimize_case(
+    case: FuzzCase,
+    reproduces: Callable[[FuzzCase], bool],
+    *,
+    max_attempts: int = 200,
+) -> FuzzCase:
+    """Greedy shrink: drop what the failure does not need.
+
+    One pass tries to drop the FSM (keeping the encoded width pinned),
+    one drops constraints, one drops symbols unused by any remaining
+    constraint.  Every candidate is accepted only when ``reproduces``
+    still holds; the attempt count is bounded so distillation cannot
+    out-run the campaign it serves.
+    """
+    attempts = 0
+
+    def attempt(candidate: FuzzCase) -> bool:
+        nonlocal attempts
+        if attempts >= max_attempts:
+            return False
+        attempts += 1
+        try:
+            return reproduces(candidate)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException:  # repro: noqa[RPA003] -- a shrink candidate that crashes the reproducer is simply rejected, never fatal
+            return False
+
+    from ..encoding import ConstraintSet
+
+    best = case
+    if best.fsm is not None:
+        pinned = best.nv or best.cset.min_code_length()
+        candidate = FuzzCase(
+            family=best.family, seed=best.seed, cset=best.cset,
+            fsm=None, nv=pinned, satisfiable=best.satisfiable,
+            note=best.note,
+        )
+        if attempt(candidate):
+            best = candidate
+
+    # drop constraints one at a time (stable order keeps this
+    # deterministic); restart the scan after a successful drop
+    changed = True
+    while changed and attempts < max_attempts:
+        changed = False
+        for i in range(len(best.cset.constraints)):
+            remaining = (
+                best.cset.constraints[:i] + best.cset.constraints[i + 1:]
+            )
+            candidate = FuzzCase(
+                family=best.family, seed=best.seed,
+                cset=ConstraintSet(best.cset.symbols, remaining),
+                fsm=best.fsm, nv=best.nv,
+                satisfiable=best.satisfiable, note=best.note,
+            )
+            if attempt(candidate):
+                best = candidate
+                changed = True
+                break
+
+    # drop symbols no remaining constraint mentions (FSM-free only:
+    # the machine's state set is not ours to edit)
+    if best.fsm is None:
+        used = set()
+        for c in best.cset.constraints:
+            used |= c.symbols
+        for symbol in list(best.cset.symbols):
+            if symbol in used or best.cset.n_symbols <= 2:
+                continue
+            kept = [s for s in best.cset.symbols if s != symbol]
+            candidate = FuzzCase(
+                family=best.family, seed=best.seed,
+                cset=ConstraintSet(kept, best.cset.constraints),
+                fsm=None, nv=best.nv,
+                satisfiable=best.satisfiable, note=best.note,
+            )
+            if attempt(candidate):
+                best = candidate
+    return best

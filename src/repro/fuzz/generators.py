@@ -1,0 +1,399 @@
+"""Seeded workload generators: random and structured fuzz instances.
+
+Every generator is a pure function of ``(seed, scale)`` registered
+under a family name, so a fuzz run is replayable from its base seed
+alone and a distilled corpus entry records exactly how its instance
+was built.  ``scale`` bounds the symbol count; families pick their
+actual size from the seeded rng (skewed small so shrunk cases stay
+readable, but reaching ``scale`` symbols — thousands, if asked).
+
+Families
+--------
+* ``random``          — unstructured constraint sets over fresh symbols;
+* ``fsm``             — synthetic controllers (:func:`synthesize_fsm`)
+  with face constraints derived by symbolic minimization, enabling the
+  co-simulation oracle;
+* ``bounded-length``  — prefix-group (laminar) families from bounded-
+  length code-assignment, after Baer's *D-ary Bounded-Length Huffman
+  Coding*: every constraint is an aligned code-prefix group, so the
+  instance is provably fully satisfiable at the recorded ``nv``;
+* ``grid``            — 2-D constrained patterns after Dubé: symbols on
+  an ``r x c`` grid with row/column/window faces, satisfiable under the
+  product code length but adversarial at minimum length;
+* ``pathological``    — degenerate shapes (duplicates, singletons, the
+  full set, deep nested chains, overlapping cliques) that stress the
+  solvers' edge handling rather than their optimization.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..encoding import ConstraintSet, FaceConstraint
+from ..fsm import Fsm, format_kiss, parse_kiss, synthesize_fsm
+from ..runtime import InvalidSpecError
+
+__all__ = [
+    "FuzzCase",
+    "GeneratorSpec",
+    "register_generator",
+    "get_generator",
+    "list_generators",
+    "generate_case",
+]
+
+
+@dataclass
+class FuzzCase:
+    """One generated instance: a constraint set, optionally its FSM.
+
+    ``nv`` pins the requested code length (``None`` = the minimum);
+    ``satisfiable`` marks instances *constructed* to be fully
+    satisfiable at ``nv``, which unlocks the stronger oracle for
+    provably optimal solvers.
+    """
+
+    family: str
+    seed: int
+    cset: ConstraintSet
+    fsm: Optional[Fsm] = None
+    nv: Optional[int] = None
+    satisfiable: bool = False
+    note: str = ""
+
+    @property
+    def key(self) -> str:
+        return f"{self.family}:{self.seed}"
+
+    def describe(self) -> str:
+        shape = (
+            f"{self.cset.n_symbols} symbols, "
+            f"{len(self.cset.constraints)} constraints"
+        )
+        if self.fsm is not None:
+            shape += f", fsm {self.fsm.stats()}"
+        return f"{self.key} ({shape})"
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe serialization (the corpus file payload)."""
+        return {
+            "family": self.family,
+            "seed": self.seed,
+            "symbols": list(self.cset.symbols),
+            "constraints": [
+                {
+                    "symbols": sorted(c.symbols),
+                    "kind": c.kind,
+                    "weight": c.weight,
+                }
+                for c in self.cset.constraints
+            ],
+            "kiss": format_kiss(self.fsm) if self.fsm is not None else None,
+            "nv": self.nv,
+            "satisfiable": self.satisfiable,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FuzzCase":
+        cset = ConstraintSet(
+            data["symbols"],
+            [
+                FaceConstraint(
+                    c["symbols"],
+                    kind=c.get("kind", "original"),
+                    weight=c.get("weight", 1.0),
+                )
+                for c in data["constraints"]
+            ],
+        )
+        kiss = data.get("kiss")
+        fsm = parse_kiss(kiss, name="corpus") if kiss else None
+        return cls(
+            family=data["family"],
+            seed=data["seed"],
+            cset=cset,
+            fsm=fsm,
+            nv=data.get("nv"),
+            satisfiable=bool(data.get("satisfiable", False)),
+            note=data.get("note", ""),
+        )
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """A named generator: builds one :class:`FuzzCase` per seed."""
+
+    name: str
+    fn: Callable[[int, int], FuzzCase] = field(compare=False)
+    makes_fsm: bool = False
+    doc: str = ""
+
+
+_REGISTRY: Dict[str, GeneratorSpec] = {}
+
+
+def register_generator(
+    name: str,
+    fn: Callable[[int, int], FuzzCase],
+    *,
+    makes_fsm: bool = False,
+    doc: str = "",
+    replace: bool = False,
+) -> GeneratorSpec:
+    """Register ``fn(seed, scale) -> FuzzCase`` under ``name``."""
+    if not name:
+        raise InvalidSpecError("generator needs a non-empty name")
+    if name in _REGISTRY and not replace:
+        raise InvalidSpecError(
+            f"generator {name!r} already registered "
+            "(pass replace=True to override)"
+        )
+    spec = GeneratorSpec(name=name, fn=fn, makes_fsm=makes_fsm, doc=doc)
+    _REGISTRY[name] = spec
+    return spec
+
+
+def get_generator(name: str) -> GeneratorSpec:
+    """Look a generator up by name (with the menu on a miss)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidSpecError(
+            f"unknown generator {name!r}; available: {list_generators()}"
+        ) from None
+
+
+def list_generators() -> Tuple[str, ...]:
+    """The registered family names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def generate_case(family: str, seed: int, scale: int = 24) -> FuzzCase:
+    """Build the deterministic instance of ``family`` at ``seed``."""
+    if scale < 2:
+        raise InvalidSpecError("scale must be >= 2 symbols")
+    return get_generator(family).fn(seed, scale)
+
+
+def _rng(family: str, seed: int) -> random.Random:
+    # crc32 keeps streams of different families decorrelated and is
+    # stable across processes (str.__hash__ is salted)
+    return random.Random(zlib.crc32(family.encode()) * 1000003 + seed)
+
+
+def _size(rng: random.Random, scale: int, lo: int = 2) -> int:
+    """Symbol count in [lo, scale], quadratically skewed small."""
+    if scale <= lo:
+        return lo
+    return lo + int((scale - lo) * rng.random() ** 2)
+
+
+# ----------------------------------------------------------------------
+# family: random
+# ----------------------------------------------------------------------
+def gen_random(seed: int, scale: int) -> FuzzCase:
+    """Unstructured constraint sets: random subsets of fresh symbols."""
+    rng = _rng("random", seed)
+    n = _size(rng, scale)
+    symbols = [f"s{i}" for i in range(n)]
+    n_constraints = rng.randint(0, min(3 * n, 48))
+    constraints: List[FaceConstraint] = []
+    for _ in range(n_constraints):
+        # sizes skew small (real face constraints mostly do), with an
+        # occasional trivial singleton / full-set row to stress the
+        # nontrivial() filtering paths
+        size = min(n, 2 + int(rng.expovariate(0.6)))
+        if rng.random() < 0.06:
+            size = rng.choice((1, n))
+        members = rng.sample(symbols, size)
+        weight = float(rng.choice((1, 1, 1, 2, 4)))
+        constraints.append(FaceConstraint(members, weight=weight))
+    return FuzzCase(
+        family="random", seed=seed,
+        cset=ConstraintSet(symbols, constraints),
+    )
+
+
+# ----------------------------------------------------------------------
+# family: fsm
+# ----------------------------------------------------------------------
+def gen_fsm(seed: int, scale: int) -> FuzzCase:
+    """Synthetic controller + derived face constraints (co-sim oracle)."""
+    from ..encoding import derive_face_constraints
+
+    rng = _rng("fsm", seed)
+    # symbolic minimization and co-simulation dominate the case cost,
+    # so the state count caps below the raw symbol scale
+    n_states = _size(rng, min(scale, 48))
+    n_inputs = rng.randint(1, 4)
+    n_outputs = rng.randint(1, 5)
+    n_terms = rng.randint(n_states, 4 * n_states)
+    fsm = synthesize_fsm(
+        f"fuzz{seed}", n_inputs, n_outputs, n_states, n_terms,
+        seed=seed,
+    )
+    return FuzzCase(
+        family="fsm", seed=seed,
+        cset=derive_face_constraints(fsm), fsm=fsm,
+    )
+
+
+# ----------------------------------------------------------------------
+# family: bounded-length (Baer-style prefix groups)
+# ----------------------------------------------------------------------
+def gen_bounded_length(seed: int, scale: int) -> FuzzCase:
+    """Bounded-length code-assignment instances (laminar prefix groups).
+
+    Conceptually assign symbol ``i`` the natural code ``i`` in ``nv``
+    bits, then constrain random *aligned prefix groups* — the leaf
+    sets of internal nodes of a bounded-depth code tree.  Every such
+    group lies exactly on the face fixing its prefix, so the instance
+    is fully satisfiable at ``nv``; the symbol order is shuffled so
+    solvers must rediscover the tree rather than read it off the
+    naming.
+    """
+    rng = _rng("bounded-length", seed)
+    n = _size(rng, scale, lo=3)
+    min_nv = (n - 1).bit_length()
+    nv = min_nv + rng.choice((0, 0, 0, 1))
+    conceptual = [f"s{i}" for i in range(n)]
+    groups: List[frozenset] = []
+    seen = set()
+    for _ in range(rng.randint(1, max(2, n // 2) + 4)):
+        length = rng.randint(1, nv - 1) if nv > 1 else 1
+        prefix = rng.randrange(1 << length)
+        lo = prefix << (nv - length)
+        hi = lo + (1 << (nv - length))
+        members = frozenset(
+            conceptual[i] for i in range(n) if lo <= i < hi
+        )
+        if 2 <= len(members) < n and members not in seen:
+            seen.add(members)
+            groups.append(members)
+    symbols = list(conceptual)
+    rng.shuffle(symbols)
+    weights = [float(rng.randint(1, 9)) for _ in groups]
+    constraints = [
+        FaceConstraint(g, weight=w) for g, w in zip(groups, weights)
+    ]
+    return FuzzCase(
+        family="bounded-length", seed=seed,
+        cset=ConstraintSet(symbols, constraints),
+        nv=nv, satisfiable=True,
+        note=f"prefix groups of a depth-{nv} code tree",
+    )
+
+
+# ----------------------------------------------------------------------
+# family: grid (Dubé-style 2-D constrained patterns)
+# ----------------------------------------------------------------------
+def gen_grid(seed: int, scale: int) -> FuzzCase:
+    """2-D constrained patterns: symbols on a grid, faces on its axes.
+
+    Rows and columns of an ``r x c`` grid are simultaneously
+    satisfiable under the product code (row bits ++ column bits); at
+    the minimum code length the same constraints are usually in
+    conflict, which makes this the adversarial counterpart of
+    ``bounded-length``.  A sprinkle of contiguous 2-D windows rides
+    along.
+    """
+    rng = _rng("grid", seed)
+    r = rng.randint(2, max(2, min(12, scale // 2)))
+    c = rng.randint(2, max(2, min(12, scale // r)))
+    symbols = [f"g{i}_{j}" for i in range(r) for j in range(c)]
+    constraints: List[FaceConstraint] = []
+    n = r * c
+    for i in range(r):
+        row = [f"g{i}_{j}" for j in range(c)]
+        if 2 <= len(row) < n:
+            constraints.append(FaceConstraint(row))
+    for j in range(c):
+        col = [f"g{i}_{j}" for i in range(r)]
+        if 2 <= len(col) < n:
+            constraints.append(FaceConstraint(col))
+    windows_only_axes = rng.random() < 0.5
+    if not windows_only_axes:
+        for _ in range(rng.randint(1, 4)):
+            hi = rng.randint(0, r - 2)
+            hj = rng.randint(0, c - 2)
+            window = [
+                f"g{i}_{j}"
+                for i in (hi, hi + 1)
+                for j in (hj, hj + 1)
+            ]
+            if len(window) < n:
+                constraints.append(FaceConstraint(window, weight=2.0))
+    rbits = (r - 1).bit_length()
+    cbits = (c - 1).bit_length()
+    product_nv = max(1, rbits + cbits)
+    use_product = windows_only_axes and rng.random() < 0.5
+    return FuzzCase(
+        family="grid", seed=seed,
+        cset=ConstraintSet(symbols, constraints),
+        nv=product_nv if use_product else None,
+        satisfiable=use_product,
+        note=f"{r}x{c} grid"
+        + (" @ product length" if use_product else ""),
+    )
+
+
+# ----------------------------------------------------------------------
+# family: pathological
+# ----------------------------------------------------------------------
+def gen_pathological(seed: int, scale: int) -> FuzzCase:
+    """Degenerate constraint shapes that stress edge handling."""
+    rng = _rng("pathological", seed)
+    n = _size(rng, max(4, min(scale, 32)), lo=2)
+    symbols = [f"p{i}" for i in range(n)]
+    shape = rng.choice(
+        ("empty", "trivial", "nested", "clique", "duplicates")
+    )
+    constraints: List[FaceConstraint] = []
+    if shape == "trivial":
+        constraints = [
+            FaceConstraint([symbols[0]]),
+            FaceConstraint(symbols),
+        ]
+    elif shape == "nested":
+        # a maximal chain s0..sk ⊃ s0..s(k-1) ⊃ ... ⊃ s0,s1
+        for k in range(2, n):
+            constraints.append(FaceConstraint(symbols[:k]))
+    elif shape == "clique":
+        # all pairs over a small core: mutually incompatible beyond
+        # the core's supercube
+        core = symbols[: min(n, 5)]
+        for i in range(len(core)):
+            for j in range(i + 1, len(core)):
+                constraints.append(FaceConstraint([core[i], core[j]]))
+    elif shape == "duplicates":
+        members = rng.sample(symbols, min(n, 3))
+        constraints = [FaceConstraint(members) for _ in range(4)]
+    return FuzzCase(
+        family="pathological", seed=seed,
+        cset=ConstraintSet(symbols, constraints),
+        note=f"shape={shape}",
+    )
+
+
+for _name, _fn, _is_fsm, _doc in (
+    ("random", gen_random, False,
+     "unstructured random constraint sets"),
+    ("fsm", gen_fsm, True,
+     "synthetic controllers with derived face constraints"),
+    ("bounded-length", gen_bounded_length, False,
+     "satisfiable laminar prefix groups (Baer bounded-length codes)"),
+    ("grid", gen_grid, False,
+     "2-D row/column/window patterns (Dube constrained patterns)"),
+    ("pathological", gen_pathological, False,
+     "degenerate shapes: duplicates, chains, cliques, trivial rows"),
+):
+    register_generator(_name, _fn, makes_fsm=_is_fsm, doc=_doc)
+del _name, _fn, _is_fsm, _doc

@@ -11,6 +11,11 @@ Commands
 * ``profile <target>`` — run one state assignment under the tracer
   and print the per-phase timing/counter profile.
 * ``bench-list`` — list the registered benchmark machines.
+* ``fuzz`` — generative end-to-end fuzzing of the encode pipeline
+  (:mod:`repro.fuzz`): seeded workload generators, the classify-never-
+  crash oracle, optional fault-hardening, and a committed regression
+  corpus (``--replay``).  Exit codes: 0 clean, 1 findings, 2 bad
+  usage/configuration.
 * ``lint`` — run the project's static invariant checks
   (:mod:`repro.analysis`) over the source tree.
 
@@ -196,6 +201,62 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("bench-list", help="list benchmark machines")
 
+    p11 = sub.add_parser(
+        "fuzz",
+        help="fuzz the encode pipeline end to end (seeded generators, "
+             "verification oracle, fault hardening, corpus replay)",
+    )
+    p11.add_argument(
+        "--solver", default="picola", metavar="NAME",
+        help="solver registry entry to fuzz (default: picola)",
+    )
+    p11.add_argument(
+        "--generator", action="append", default=None, metavar="FAMILY",
+        help="generator family to draw cases from (repeatable; "
+             "default: every registered family)",
+    )
+    p11.add_argument(
+        "--max-examples", type=int, default=100, metavar="N",
+        help="cases per campaign (default 100)",
+    )
+    p11.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="base seed; a campaign is a pure function of "
+             "(seed, config)",
+    )
+    p11.add_argument(
+        "--scale", type=int, default=24, metavar="N",
+        help="symbol-count ceiling per case (default 24)",
+    )
+    p11.add_argument(
+        "--timeout", type=nonneg_seconds, default=10.0,
+        metavar="SECONDS",
+        help="per-case budget; blown budgets classify as TIMEOUT "
+             "(default 10)",
+    )
+    p11.add_argument(
+        "--jobs", type=nonneg_int, default=1, metavar="N",
+        help="worker processes (default 1 = serial, 0 = all cores); "
+             "results merge deterministically",
+    )
+    p11.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="distill findings into DIR as committed regressions "
+             "(with --replay: the corpus to replay, default "
+             "tests/corpus)",
+    )
+    p11.add_argument(
+        "--replay", action="store_true",
+        help="replay the committed corpus instead of generating",
+    )
+    p11.add_argument(
+        "--no-harden", action="store_true",
+        help="skip the fault-hardening pass (re-running each case "
+             "with faults armed at the budget/oracle seams)",
+    )
+    add_json_flag(p11)
+    add_obs_flags(p11)
+
     from ..analysis.cli import add_lint_arguments
 
     p10 = sub.add_parser(
@@ -324,6 +385,40 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(report.render())
         _maybe_json(report, args.json)
         return 1 if report.n_failed else 0
+    elif args.command == "fuzz":
+        from ..fuzz import FuzzConfig, load_corpus, replay_entry, run_fuzz
+
+        if args.replay:
+            directory = args.corpus or "tests/corpus"
+            entries = load_corpus(directory)
+            if not entries:
+                print(f"corpus {directory}: no entries")
+                return 0
+            n_red = 0
+            for entry in entries:
+                ok, detail = replay_entry(entry)
+                n_red += 0 if ok else 1
+                print(f"{'ok ' if ok else 'RED'} {entry.name}: {detail}")
+            print(
+                f"replayed {len(entries)} corpus entries, "
+                f"{n_red} failing"
+            )
+            return 1 if n_red else 0
+        config = FuzzConfig(
+            solver=args.solver,
+            generators=tuple(args.generator or ()),
+            max_examples=args.max_examples,
+            seed=args.seed,
+            scale=args.scale,
+            timeout=args.timeout,
+            jobs=args.jobs,
+            harden=not args.no_harden,
+            corpus=args.corpus,
+        )
+        report = run_fuzz(config)
+        print(report.render())
+        _maybe_json(report, args.json)
+        return 1 if report.n_findings else 0
     elif args.command == "bench-list":
         for name, spec in sorted(BENCHMARKS.items()):
             scaled = f"  [scaled from {spec.scaled_from}]" \

@@ -110,6 +110,10 @@ def _sweep(report: SeedSweepReport) -> Dict[str, Any]:
 
 def to_dict(report: Any) -> Dict[str, Any]:
     """Dispatch on report type."""
+    from ..fuzz.runner import FuzzReport  # late: avoids a package cycle
+
+    if isinstance(report, FuzzReport):
+        return dict({"experiment": "fuzz"}, **report.as_dict())
     if isinstance(report, Table1Report):
         return _table1(report)
     if isinstance(report, Table2Report):

@@ -24,7 +24,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Type, Union
 
-from .errors import BudgetExceeded, ParseError, ReproError, SolverTimeout
+from .errors import (
+    BudgetExceeded,
+    InvalidSpecError,
+    ParseError,
+    ReproError,
+    SolverTimeout,
+)
 
 __all__ = [
     "arm",
@@ -89,8 +95,12 @@ def arm(
     ``times`` bounds how often it fires (``None`` = every time).
     """
     global _enabled
+    if not site:
+        raise InvalidSpecError("fault site must be a non-empty string")
     if after < 1:
-        raise ValueError("after must be >= 1")
+        # classified (and still a ValueError) so an operator typo in
+        # REPRO_FAULTS dies as a one-line CLI diagnostic, not a trace
+        raise InvalidSpecError("after must be >= 1")
     fault = Fault(site=site, exc=exc, key=key, after=after, times=times)
     _registry.setdefault(site, []).append(fault)
     _enabled = True
@@ -188,12 +198,20 @@ def install_from_env(var: str = "REPRO_FAULTS") -> List[Fault]:
                 raise ParseError(
                     f"bad fault count {after_text!r} in ${var}"
                 ) from None
+            if after < 1:
+                raise ParseError(
+                    f"bad fault count {after!r} in ${var} (must be >= 1)"
+                )
         if kind not in ENV_KINDS:
             raise ParseError(
                 f"bad fault kind {kind!r} in ${var}; "
                 f"choose from {sorted(ENV_KINDS)}"
             )
         site, _, key = target.partition("@")
+        if not site:
+            raise ParseError(
+                f"bad fault spec {entry!r} in ${var} (empty site)"
+            )
         installed.append(
             arm(site, ENV_KINDS[kind], key=key or None, after=after)
         )

@@ -54,7 +54,7 @@ from .encoding.codes import Encoding
 from .encoding.constraints import ConstraintSet, FaceConstraint
 from .encoding.exact import exact_encode
 from .obs import Tracer, resolve_tracer
-from .runtime import Budget, Deadline
+from .runtime import Budget, Deadline, faults
 
 __all__ = [
     "EncodeResult",
@@ -135,6 +135,9 @@ class Solver:
     ) -> EncodeResult:
         cset = _as_constraint_set(symbols, constraints)
         budget = _as_budget(budget, deadline)
+        # the registry-wide budget seam: fault-injection tests and the
+        # fuzz harness arm this site to prove degradation end to end
+        faults.trip("solver.solve", self.name)
         opts = dict(options or {})
         unknown = set(opts) - set(self.option_keys)
         if unknown:

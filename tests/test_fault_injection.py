@@ -344,3 +344,73 @@ class TestCliAcceptance:
             "--timeout", "60",
         ]) == 0
         assert "lion9" in capsys.readouterr().out
+
+
+class TestInstallFromEnvErrors:
+    """Malformed REPRO_FAULTS must die classified, never as a trace."""
+
+    @pytest.mark.parametrize("spec,fragment", [
+        ("x", "bad fault spec"),
+        ("=timeout", "empty site"),
+        ("x=nope", "bad fault kind"),
+        ("x=timeout:zz", "bad fault count"),
+        ("x=timeout:0", "must be >= 1"),
+        ("x=timeout:-3", "must be >= 1"),
+    ])
+    def test_malformed_specs_raise_parse_error(
+        self, monkeypatch, spec, fragment
+    ):
+        from repro.runtime import ParseError
+        from repro.runtime.faults import install_from_env
+
+        monkeypatch.setenv("REPRO_FAULTS", spec)
+        with pytest.raises(ParseError, match=fragment):
+            install_from_env()
+        # single-entry specs fail before anything is armed
+        assert not faults.active()
+
+    def test_malformed_spec_exits_2_via_cli(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "x=timeout:0")
+        assert main(["bench-list"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("picola: error:")
+        assert "\n" == err[err.index("\n"):]  # a single line
+
+    def test_empty_and_unset_are_noops(self, monkeypatch):
+        from repro.runtime.faults import install_from_env
+
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert install_from_env() == []
+        monkeypatch.setenv("REPRO_FAULTS", "  ")
+        assert install_from_env() == []
+        monkeypatch.setenv("REPRO_FAULTS", " , ,")
+        assert install_from_env() == []
+
+    def test_valid_spec_arms(self, monkeypatch):
+        from repro.runtime.faults import install_from_env
+
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "a.site@key1=timeout:2, b.site=error"
+        )
+        installed = install_from_env()
+        assert len(installed) == 2
+        assert installed[0].site == "a.site"
+        assert installed[0].key == "key1"
+        assert installed[0].after == 2
+        assert installed[1].site == "b.site"
+        assert installed[1].key is None
+
+    def test_arm_rejects_bad_after_classified(self):
+        from repro.runtime import InvalidSpecError
+
+        with pytest.raises(InvalidSpecError):
+            faults.arm("x", SolverTimeout, after=0)
+        # still a ValueError for pre-taxonomy callers
+        with pytest.raises(ValueError):
+            faults.arm("x", SolverTimeout, after=-1)
+
+    def test_arm_rejects_empty_site(self):
+        from repro.runtime import InvalidSpecError
+
+        with pytest.raises(InvalidSpecError, match="non-empty"):
+            faults.arm("", SolverTimeout)

@@ -1,0 +1,192 @@
+"""The fuzz corpus: save/load/replay round-trips and the committed set."""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzz import (
+    FuzzCase,
+    entry_for_finding,
+    generate_case,
+    load_corpus,
+    minimize_case,
+    parser_entry,
+    replay_entry,
+    run_case,
+    save_entry,
+)
+from repro.runtime import InvalidSpecError, ParseError
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+class TestCommittedCorpus:
+    """Every committed corpus entry must replay green, forever."""
+
+    def test_corpus_is_not_empty(self):
+        assert load_corpus(CORPUS_DIR), (
+            "tests/corpus should carry the parser regressions and at "
+            "least one case entry"
+        )
+
+    @pytest.mark.parametrize(
+        "entry",
+        load_corpus(CORPUS_DIR),
+        ids=lambda e: e.name,
+    )
+    def test_replays_green(self, entry):
+        ok, detail = replay_entry(entry)
+        assert ok, f"{entry.name}: {detail}"
+
+    def test_covers_both_parsers_and_cases(self):
+        kinds = {e.kind for e in load_corpus(CORPUS_DIR)}
+        assert {"kiss", "pla", "case"} <= kinds
+
+
+class TestSaveLoadRoundTrip:
+    def test_case_entry_round_trip(self, tmp_path):
+        case = generate_case("random", 3, 8)
+        outcome = run_case(case, "picola", timeout=30)
+        entry = entry_for_finding(outcome, case)
+        entry.data["expect"] = outcome.classification
+        path = save_entry(str(tmp_path), entry)
+        assert os.path.exists(path)
+
+        loaded = load_corpus(str(tmp_path))
+        assert len(loaded) == 1
+        ok, detail = replay_entry(loaded[0])
+        assert ok, detail
+        assert outcome.classification in detail
+
+    def test_save_is_content_addressed_and_idempotent(self, tmp_path):
+        entry = parser_entry("kiss", ".i 1\n", note="x")
+        p1 = save_entry(str(tmp_path), entry)
+        p2 = save_entry(
+            str(tmp_path), parser_entry("kiss", ".i 1\n", note="x")
+        )
+        assert p1 == p2
+        assert len(os.listdir(tmp_path)) == 1
+
+    def test_parser_entry_replay_semantics(self, tmp_path):
+        red = parser_entry("kiss", ".i 1\n.o 1\n0 a b 1\n.e\n")
+        ok, detail = replay_entry(red)
+        assert not ok  # parses fine, so the "must raise" entry is red
+        green = parser_entry("kiss", "not kiss at all ever\n")
+        ok, detail = replay_entry(green)
+        assert ok, detail
+
+    def test_parser_entry_kind_validated(self):
+        with pytest.raises(InvalidSpecError):
+            parser_entry("blif", "junk")
+
+    def test_expect_null_fails_while_still_a_finding(self, tmp_path):
+        # a fresh finding (expect null) replays red until the tree is
+        # fixed; simulate with a case entry pointing at a crash solver
+        case = generate_case("random", 4, 8)
+        outcome = run_case(case, "picola", timeout=30)
+        entry = entry_for_finding(outcome, case)
+        assert entry.data["expect"] is None
+        save_entry(str(tmp_path), entry)
+        loaded = load_corpus(str(tmp_path))[0]
+        ok, detail = replay_entry(loaded)
+        # picola is healthy, so the null-expect entry replays green
+        assert ok, detail
+
+    def test_malformed_json_is_classified(self, tmp_path):
+        (tmp_path / "case-bad-000000.json").write_text("{nope")
+        with pytest.raises(ParseError, match="not valid JSON"):
+            load_corpus(str(tmp_path))
+
+    def test_unknown_schema_is_classified(self, tmp_path):
+        (tmp_path / "case-bad-000000.json").write_text(
+            json.dumps({"schema": 99, "kind": "case"})
+        )
+        with pytest.raises(ParseError, match="unknown schema"):
+            load_corpus(str(tmp_path))
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_corpus(str(tmp_path / "nope")) == []
+
+
+class TestMinimize:
+    def test_drops_unneeded_constraints(self):
+        case = generate_case("grid", 4, 12)
+
+        def target(candidate):
+            # "failure" depends only on one specific row being present
+            return any(
+                candidate.cset.symbols
+                and sorted(c.symbols)[:1] == ["g0_0"]
+                for c in candidate.cset.constraints
+            )
+
+        assert target(case)
+        small = minimize_case(case, target)
+        assert target(small)
+        assert len(small.cset.constraints) <= len(case.cset.constraints)
+        assert len(small.cset.constraints) == 1
+
+    def test_drops_fsm_when_not_needed(self):
+        case = generate_case("fsm", 2, 10)
+
+        def target(candidate):
+            return candidate.cset.n_symbols >= 2
+
+        small = minimize_case(case, target)
+        assert small.fsm is None
+        assert small.nv is not None  # width stays pinned
+
+    def test_keeps_fsm_when_needed(self):
+        case = generate_case("fsm", 2, 10)
+
+        def target(candidate):
+            return candidate.fsm is not None
+
+        small = minimize_case(case, target)
+        assert small.fsm is not None
+
+    def test_drops_unused_symbols(self):
+        case = generate_case("grid", 4, 12)
+        keep = sorted(case.cset.constraints[0].symbols)
+
+        def target(candidate):
+            return any(
+                sorted(c.symbols) == keep
+                for c in candidate.cset.constraints
+            )
+
+        small = minimize_case(case, target)
+        assert target(small)
+        assert small.cset.n_symbols < case.cset.n_symbols
+
+    def test_crashing_reproducer_rejects_candidate(self):
+        case = generate_case("random", 5, 8)
+        calls = {"n": 0}
+
+        def flaky(candidate):
+            calls["n"] += 1
+            raise RuntimeError("reproducer blew up")
+
+        small = minimize_case(case, flaky)
+        assert small.to_dict() == case.to_dict()  # nothing accepted
+        assert calls["n"] > 0
+
+    def test_attempt_budget_is_bounded(self):
+        case = generate_case("grid", 8, 24)
+        calls = {"n": 0}
+
+        def count(candidate):
+            calls["n"] += 1
+            return True
+
+        minimize_case(case, count, max_attempts=7)
+        assert calls["n"] <= 7
+
+    def test_minimized_case_round_trips(self):
+        case = generate_case("grid", 4, 12)
+        small = minimize_case(
+            case, lambda cand: len(cand.cset.constraints) >= 1
+        )
+        again = FuzzCase.from_dict(small.to_dict())
+        assert again.to_dict() == small.to_dict()
