@@ -39,8 +39,18 @@ or, uniformly across solvers::
 
     result = get_solver("picola").solve(symbols, constraints)
     print(result.encoding.as_table(), result.seconds, result.nodes)
+
+Since 1.6.0 the same encodes are available as a request/response
+service (:mod:`repro.api`, :mod:`repro.service`, ``picola serve``)::
+
+    from repro import EncodeRequest, encode
+
+    request = EncodeRequest.build(symbols, constraints, solver="picola")
+    response = encode(request)
+    print(response.status, response.n_bits)
 """
 
+from .api import EncodeRequest, EncodeResponse, encode, encode_many
 from .core import PicolaOptions, PicolaResult, picola_encode
 from .cubes import Cover, Space
 from .encoding import (
@@ -89,9 +99,13 @@ from .solvers import (
 )
 from .stateassign import assign_states
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
+    "EncodeRequest",
+    "EncodeResponse",
+    "encode",
+    "encode_many",
     "PicolaOptions",
     "PicolaResult",
     "picola_encode",

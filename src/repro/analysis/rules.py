@@ -471,12 +471,12 @@ class DeprecatedPositionalNvRule(Rule):
     """RPA007 — no internal callers of the deprecated positional nv."""
 
     rule_id = "RPA007"
-    title = "deprecated call: positional nv to exact_encode/nova_encode"
+    title = "removed call: positional nv to exact_encode/nova_encode"
     rationale = """
-        Positional nv on exact_encode/nova_encode emits a
-        DeprecationWarning (1.1.0) and will be removed; internal code
-        must pass nv= by keyword (or go through the registry) so the
-        warning only ever points at external callers.
+        Positional nv on exact_encode/nova_encode was deprecated in
+        1.1.0 and raises TypeError since 1.6.0; internal code must
+        pass nv= by keyword (or go through the registry), so any
+        remaining positional call is a guaranteed runtime crash.
     """
 
     _TARGETS = ("exact_encode", "nova_encode")
@@ -635,6 +635,69 @@ class BulkKernelRule(Rule):
         return None
 
 
+class ServicePayloadRule(Rule):
+    """RPA009 — the service layer speaks EncodeRequest/EncodeResponse."""
+
+    rule_id = "RPA009"
+    title = "service layer: ad-hoc payload or direct *_encode call"
+    rationale = """
+        repro.service and repro.api exist so every encode crosses one
+        typed boundary: requests are EncodeRequest, results are
+        EncodeResponse, and solvers are reached through the registry.
+        A handler returning a hand-rolled dict payload, or a service
+        module calling picola_encode/nova_encode/... directly, forks
+        the wire format and skips the budget/tracing/classification
+        guarantees the boundary provides.
+    """
+
+    scope = ("repro/service", "repro/api.py")
+
+    #: function-name prefixes that produce request/response payloads;
+    #: these must build the dataclasses, never bare dict literals
+    _PAYLOAD_PREFIXES = (
+        "encode", "execute", "dispatch", "handle", "submit",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                # leading underscore = a module-private helper, not a
+                # legacy solver entry point (those are all public)
+                if (
+                    name
+                    and name.endswith("_encode")
+                    and not name.startswith("_")
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"service code calls {name}() directly; go "
+                        "through get_solver(...).solve(...) via "
+                        "repro.service.dispatch.execute",
+                    )
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and node.name.startswith(self._PAYLOAD_PREFIXES):
+                yield from self._check_returns(ctx, node)
+
+    def _check_returns(
+        self, ctx: FileContext, func: ast.AST
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Return) and isinstance(
+                node.value, ast.Dict
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{func.name}() returns an ad-hoc dict payload; "
+                    "construct an EncodeRequest/EncodeResponse (or "
+                    "call .to_dict() on one) so the wire format "
+                    "cannot fork",
+                )
+
+
 RULE_CLASSES: Tuple[type, ...] = (
     BudgetThreadingRule,
     SpanHygieneRule,
@@ -644,6 +707,7 @@ RULE_CLASSES: Tuple[type, ...] = (
     RegistryConformanceRule,
     DeprecatedPositionalNvRule,
     BulkKernelRule,
+    ServicePayloadRule,
 )
 
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import math
 import random
-import warnings
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -56,20 +55,18 @@ def nova_encode(
 ) -> NovaResult:
     """Encode with the NOVA-style objective; deterministic per seed.
 
-    Passing ``nv`` positionally is deprecated — the uniform
-    :mod:`repro.solvers` signature takes it via ``options``.
+    ``nv`` is keyword-only: passing it positionally was deprecated in
+    1.1.0 and raises :class:`TypeError` since 1.6.0 — use
+    ``nova_encode(cset, nv=...)`` or
+    ``get_solver('nova').solve(...)``.
     """
     if args:
-        if len(args) > 1 or nv is not None:
-            raise TypeError("nova_encode takes at most one nv")
-        warnings.warn(
-            "passing nv positionally to nova_encode is deprecated; "
-            "use nova_encode(cset, nv=...) or "
-            "get_solver('nova').solve(...)",
-            DeprecationWarning,
-            stacklevel=2,
+        raise TypeError(
+            "nova_encode() no longer accepts positional nv "
+            "(deprecated since 1.1.0, removed in 1.6.0); use "
+            "nova_encode(cset, nv=...) or "
+            "get_solver('nova').solve(...)"
         )
-        nv = args[0]
     if variant not in ("i_greedy", "i_hybrid", "io_hybrid"):
         raise InvalidSpecError(f"unknown NOVA variant {variant!r}")
     if variant == "io_hybrid" and affinity is None:

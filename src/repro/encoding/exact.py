@@ -22,7 +22,6 @@ symmetries dramatically without losing optimality.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -95,20 +94,18 @@ def exact_encode(
     to best-so-far once a complete assignment exists.  ``tracer``
     records a ``exact/search`` span and the node count.
 
-    Passing ``nv`` positionally is deprecated — the uniform
-    :mod:`repro.solvers` signature takes it via ``options``.
+    ``nv`` is keyword-only: passing it positionally was deprecated in
+    1.1.0 and raises :class:`TypeError` since 1.6.0 — use
+    ``exact_encode(cset, nv=...)`` or
+    ``get_solver('exact').solve(...)``.
     """
     if args:
-        if len(args) > 1 or nv is not None:
-            raise TypeError("exact_encode takes at most one nv")
-        warnings.warn(
-            "passing nv positionally to exact_encode is deprecated; "
-            "use exact_encode(cset, nv=...) or "
-            "get_solver('exact').solve(...)",
-            DeprecationWarning,
-            stacklevel=2,
+        raise TypeError(
+            "exact_encode() no longer accepts positional nv "
+            "(deprecated since 1.1.0, removed in 1.6.0); use "
+            "exact_encode(cset, nv=...) or "
+            "get_solver('exact').solve(...)"
         )
-        nv = args[0]
     tracer = resolve_tracer(tracer)
     symbols = list(cset.symbols)
     n = len(symbols)

@@ -1,0 +1,144 @@
+"""Micro-batching: fan a group of requests through the parallel engine.
+
+:func:`encode_many` is the batch twin of
+:func:`repro.service.dispatch.execute`: it takes N requests and
+returns N responses **identical to serial one-at-a-time dispatch**
+(modulo wall-clock seconds), while solving independent cache misses
+concurrently on the :mod:`repro.harness.parallel` process pool.
+
+The equivalence is structural, not hoped-for: the parallel path ends
+with exactly the serial merge loop — walk the requests in submission
+order, consult the cache like the serial path would, and only fall
+back to the pre-computed worker result where the serial path would
+have solved.  Requests whose options cannot cross a process boundary
+(an exotic live object) degrade the whole batch to the in-process
+serial path, mirroring the engine's degrade-to-serial contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..harness.parallel import Unit, resolve_jobs, run_units
+from ..obs import resolve_tracer
+from ..runtime import InvalidSpecError
+from .cache import ResultCache, cache_key
+from .dispatch import execute, solve_request
+from .request import EncodeRequest, EncodeResponse
+
+__all__ = ["encode_many"]
+
+
+def _batch_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side unit: revive the request, solve, ship the dict.
+
+    Runs in a pool process; caching happens in the parent (workers
+    share no memory), so the worker solves cache-less.  It uses the
+    solve-only entry (not :func:`execute`) so the service-level
+    request/hit/miss accounting stays in the parent merge — adopted
+    worker counters would otherwise double-count every request.
+    """
+    request = EncodeRequest.from_dict(payload)
+    return solve_request(request).to_dict()
+
+
+def _failed_response(
+    request: EncodeRequest,
+    key: Optional[str],
+    status: str,
+    error: Optional[str],
+) -> EncodeResponse:
+    if status not in ("timeout", "budget"):
+        status = "failed"
+    return EncodeResponse(
+        status=status,
+        solver=request.solver,
+        cache_key=key or "",
+        symbols=request.symbols,
+        error=error or "worker failed",
+        error_type="WorkerError",
+    )
+
+
+def encode_many(
+    requests: Sequence[EncodeRequest],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    tracer: Any = None,
+) -> List[EncodeResponse]:
+    """Serve a batch of requests; order of results matches input.
+
+    ``jobs`` has the engine-wide semantics (``1`` serial, ``0`` all
+    cores, ``N`` a fixed pool).  With a shared ``cache``, duplicate
+    requests inside one batch are solved once and the rest served as
+    cache hits, exactly as a serial loop over ``execute`` would.
+    """
+    requests = list(requests)
+    tracer = resolve_tracer(tracer)
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs <= 1 or len(requests) <= 1:
+        return [
+            execute(request, cache=cache, tracer=tracer)
+            for request in requests
+        ]
+
+    keys = [cache_key(request) for request in requests]
+
+    # schedule everything the cache cannot answer right now; the
+    # serial merge below re-checks, so over-scheduling a duplicate
+    # costs work, never correctness
+    pending: List[int] = []
+    for i, key in enumerate(keys):
+        if cache is None or cache.peek(key) is None:
+            pending.append(i)
+
+    try:
+        units = [
+            Unit(
+                key=f"service/request-{i}",
+                fn=_batch_worker,
+                args=(requests[i].to_dict(),),
+            )
+            for i in pending
+        ]
+    except InvalidSpecError:
+        # unserializable options: degrade to the in-process path
+        return [
+            execute(request, cache=cache, tracer=tracer)
+            for request in requests
+        ]
+
+    solved: Dict[int, EncodeResponse] = {}
+    for i, outcome in zip(
+        pending, run_units(units, jobs=n_jobs, tracer=tracer)
+    ):
+        if outcome.ok:
+            solved[i] = EncodeResponse.from_dict(outcome.value)
+        else:
+            solved[i] = _failed_response(
+                requests[i], keys[i], outcome.status, outcome.error
+            )
+
+    # the serial merge: submission order, cache consulted exactly as
+    # a one-at-a-time loop would; service-level accounting lives here
+    # (and only here), so batch counters match the serial path even
+    # when a duplicate was speculatively over-scheduled
+    responses: List[EncodeResponse] = []
+    for i, (request, key) in enumerate(zip(requests, keys)):
+        tracer.count("service.requests")
+        hit = cache.get(key) if cache is not None else None
+        if hit is not None:
+            tracer.count("service.cache.hits")
+            responses.append(hit)
+            continue
+        if cache is not None:
+            tracer.count("service.cache.misses")
+        response = solved.get(i)
+        if response is None:
+            # evicted between peek and merge: solve inline like serial
+            response = solve_request(request, tracer=tracer)
+        if cache is not None:
+            cache.put(key, response)
+        responses.append(response)
+    return responses

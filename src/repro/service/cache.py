@@ -1,0 +1,179 @@
+"""The content-addressed result cache and its canonical request hash.
+
+``cache_key(request)`` is a pure function of the request *content*:
+a SHA-256 over a canonical JSON rendering in which
+
+* the **symbol order is preserved** (it defines the row order of the
+  constraint matrix and therefore the shape of the problem),
+* the **constraint order is canonicalized** (two requests listing the
+  same face constraints in different order describe the same problem
+  and hit the same cache line),
+* **option keys are sorted** (dict insertion order never leaks into
+  the key),
+* live-object options (:class:`~repro.fsm.Fsm`,
+  :class:`~repro.core.PicolaOptions`) hash via their canonical wire
+  form, so an in-process request and its HTTP twin share a key.
+
+The digest uses no Python ``hash()`` anywhere, so keys are stable
+across processes and ``PYTHONHASHSEED`` values — a daemon restarted
+tomorrow re-serves today's corpus for free (given a persistent
+deployment of the cache; the in-memory :class:`ResultCache` shipped
+here is per-process).
+
+Requests whose options cannot be canonicalized (an exotic live
+object) are *uncacheable*: :func:`cache_key` returns ``None`` and the
+dispatcher simply executes them every time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from ..runtime import InvalidSpecError
+from .request import EncodeRequest, EncodeResponse, _encode_option
+
+__all__ = ["cache_key", "canonical_payload", "ResultCache"]
+
+
+def canonical_payload(request: EncodeRequest) -> str:
+    """The canonical JSON text hashed by :func:`cache_key`.
+
+    Raises :class:`~repro.runtime.InvalidSpecError` when an option
+    value has no canonical form (the request is then uncacheable).
+    """
+    constraints = sorted(
+        (
+            sorted(c.symbols),
+            c.kind,
+            sorted(c.parent) if c.parent is not None else None,
+            repr(float(c.weight)),
+        )
+        for c in request.constraints
+    )
+    payload = {
+        "v": 1,  # key-format version: bump on layout changes
+        "symbols": list(request.symbols),
+        "constraints": [
+            {
+                "symbols": symbols,
+                "kind": kind,
+                "parent": parent,
+                "weight": weight,
+            }
+            for symbols, kind, parent, weight in constraints
+        ],
+        "solver": request.solver,
+        "options": {
+            key: _encode_option(value)
+            for key, value in request.options.items()
+        },
+        "nv": request.nv,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(request: EncodeRequest) -> Optional[str]:
+    """SHA-256 content address of the request, or ``None`` when the
+    request is uncacheable.
+
+    QoS fields (``timeout`` / ``max_nodes``) and the ``trace`` flag
+    are deliberately *not* part of the key: they shape how long we
+    are willing to search, not which problem is being solved, and a
+    result computed under a generous budget is a perfectly good
+    answer for the same problem asked with a tight one.
+    """
+    try:
+        text = canonical_payload(request)
+    except InvalidSpecError:
+        return None
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU of classified responses by key.
+
+    Only ``ok`` and ``infeasible`` responses are stored — both are
+    *final* verdicts about the problem.  ``timeout`` / ``budget`` /
+    ``failed`` outcomes depend on the QoS of the run that produced
+    them, so caching them would wrongly starve a later, more patient
+    request.
+    """
+
+    _FINAL_STATUSES = ("ok", "infeasible")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise InvalidSpecError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, EncodeResponse]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def peek(self, key: Optional[str]) -> Optional[EncodeResponse]:
+        """Uncounted lookup: no hit/miss accounting, no LRU refresh.
+
+        The batcher uses this to decide what to schedule without
+        disturbing the statistics the serial merge will produce.
+        """
+        if key is None:
+            return None
+        with self._lock:
+            response = self._entries.get(key)
+        if response is None:
+            return None
+        return response.with_cached(True)
+
+    def get(self, key: Optional[str]) -> Optional[EncodeResponse]:
+        """The cached response (marked ``cached=True``), or ``None``."""
+        if key is None:
+            return None
+        with self._lock:
+            response = self._entries.get(key)
+            if response is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        return response.with_cached(True)
+
+    def put(
+        self, key: Optional[str], response: EncodeResponse
+    ) -> bool:
+        """Store a final response; returns whether it was stored."""
+        if (
+            key is None
+            or self.capacity == 0
+            or response.status not in self._FINAL_STATUSES
+        ):
+            return False
+        stored = response.with_cached(False)
+        with self._lock:
+            self._entries[key] = stored
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }

@@ -1,0 +1,214 @@
+"""Request execution: one code path from request to response.
+
+:func:`execute` is the *only* place in the tree where an
+:class:`~repro.service.EncodeRequest` meets the solver registry —
+the CLI, the ``repro.api`` facade, ``assign_states`` and the
+``picola serve`` daemon all funnel through it, so budgets, tracing,
+caching and failure classification behave identically for batch and
+interactive use.
+
+Observability contract (asserted by ``tests/test_service.py``):
+
+* every request bumps the ``service.requests`` counter and runs
+  under a ``service/request`` span (its duration feeds the tracer's
+  per-name latency histogram);
+* a cache hit bumps ``service.cache.hits`` and emits **no**
+  ``service/solve`` span — the solver never runs;
+* a miss bumps ``service.cache.misses`` and wraps the registry call
+  in a ``service/solve`` span;
+* classified failures bump ``service.errors``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..obs import MemorySink, Tracer, resolve_tracer
+from ..runtime import Budget, InfeasibleError, ReproError
+from ..runtime.isolation import classify_failure
+from ..solvers import EncodeResult, get_solver
+from .cache import ResultCache, cache_key
+from .request import EncodeRequest, EncodeResponse, _encode_option
+
+__all__ = ["execute", "solve_request", "REQUEST_SPAN", "SOLVE_SPAN"]
+
+#: span wrapping every request (cache hits included)
+REQUEST_SPAN = "service/request"
+#: span wrapping the registry solve (never emitted on a cache hit)
+SOLVE_SPAN = "service/solve"
+
+
+def _safe_stats(stats: Dict[str, Any]) -> Dict[str, Any]:
+    """Solver stats restricted to wire-safe values."""
+    out: Dict[str, Any] = {}
+    for key, value in stats.items():
+        try:
+            out[key] = _encode_option(value)
+        except ReproError:
+            continue  # live objects stay solver-internal
+    return out
+
+
+def _response_from_result(
+    request: EncodeRequest,
+    key: Optional[str],
+    result: EncodeResult,
+    trace: Optional[Dict[str, Any]],
+) -> EncodeResponse:
+    encoding = result.encoding
+    return EncodeResponse(
+        status="ok",
+        solver=result.solver,
+        cache_key=key or "",
+        symbols=encoding.symbols,
+        codes=dict(encoding.codes),
+        n_bits=encoding.n_bits,
+        seconds=result.seconds,
+        stats=_safe_stats(dict(result.stats)),
+        trace=trace,
+    )
+
+
+def _response_from_error(
+    request: EncodeRequest,
+    key: Optional[str],
+    exc: BaseException,
+    trace: Optional[Dict[str, Any]],
+) -> EncodeResponse:
+    if isinstance(exc, InfeasibleError):
+        status, message = "infeasible", str(exc)
+    else:
+        status, message = classify_failure(exc)
+    return EncodeResponse(
+        status=status,
+        solver=request.solver,
+        cache_key=key or "",
+        symbols=request.symbols,
+        error=message,
+        error_type=type(exc).__name__,
+        trace=trace,
+    )
+
+
+def _trace_summary(tracer: Tracer) -> Dict[str, Any]:
+    return {
+        "counters": tracer.counters(),
+        "timings": {
+            name: hist.to_dict()
+            for name, hist in tracer.timings().items()
+        },
+    }
+
+
+def _solve(
+    request: EncodeRequest,
+    key: Optional[str],
+    budget: Optional[Budget],
+    tracer: Any,
+    classify: bool,
+) -> EncodeResponse:
+    """Run the registry solver; classify failures unless told not to."""
+    if budget is None:
+        budget = request.make_budget()
+    # per-request tracing: the solve runs under a private tracer whose
+    # aggregates ride back in the response; its events are adopted
+    # into the caller's live tracer so --trace/--profile stay whole
+    sink: Optional[MemorySink] = None
+    request_tracer: Optional[Tracer] = None
+    solve_tracer = tracer
+    if request.trace:
+        sink = MemorySink()
+        request_tracer = Tracer(sink)
+        solve_tracer = request_tracer
+    trace: Optional[Dict[str, Any]] = None
+    try:
+        with tracer.span(SOLVE_SPAN, solver=request.solver):
+            solver = get_solver(request.solver)
+            result = solver.solve(
+                request.constraint_set(),
+                options=request.solver_options(),
+                budget=budget,
+                tracer=solve_tracer,
+            )
+    except (ReproError, KeyError, TypeError) as exc:
+        # KeyError: unknown solver name; TypeError: unknown option
+        # keys — both are classified, like every solver failure
+        tracer.count("service.errors")
+        if not classify:
+            raise
+        if request_tracer is not None and sink is not None:
+            trace = _trace_summary(request_tracer)
+            _adopt(tracer, sink, request_tracer)
+        return _response_from_error(request, key, exc, trace)
+    if request_tracer is not None and sink is not None:
+        trace = _trace_summary(request_tracer)
+        _adopt(tracer, sink, request_tracer)
+    return _response_from_result(request, key, result, trace)
+
+
+def _adopt(tracer: Any, sink: MemorySink, private: Tracer) -> None:
+    if getattr(tracer, "enabled", False):
+        tracer.adopt(
+            sink.spans,
+            counters=private.counters(),
+            gauges=private.gauges(),
+        )
+
+
+def solve_request(
+    request: EncodeRequest,
+    *,
+    budget: Optional[Budget] = None,
+    tracer: Any = None,
+    classify: bool = True,
+) -> EncodeResponse:
+    """The solve-only entry: registry dispatch and classification
+    *without* the service accounting (no ``service.requests`` /
+    hit/miss counters, no ``service/request`` span).
+
+    The batch workers use this so that the parent-side merge in
+    :func:`repro.service.batch.encode_many` stays the single place
+    service-level counters are bumped — adopted worker counters would
+    otherwise double-count every request.
+    """
+    tracer = resolve_tracer(tracer)
+    return _solve(
+        request, cache_key(request), budget, tracer, classify
+    )
+
+
+def execute(
+    request: EncodeRequest,
+    *,
+    cache: Optional[ResultCache] = None,
+    budget: Optional[Budget] = None,
+    tracer: Any = None,
+    classify: bool = True,
+) -> EncodeResponse:
+    """Serve one request: cache lookup, registry solve, classification.
+
+    ``budget`` overrides the request's declarative QoS with an
+    externally shared :class:`~repro.runtime.Budget` (the harness
+    does this so an encode and its espresso step split one
+    allowance).  With ``classify=False`` solver failures propagate as
+    exceptions instead of becoming non-``ok`` responses — the
+    harness' per-benchmark fault isolation wants the raw error.
+    """
+    tracer = resolve_tracer(tracer)
+    tracer.count("service.requests")
+    key = cache_key(request)
+    with tracer.span(
+        REQUEST_SPAN,
+        solver=request.solver,
+        symbols=len(request.symbols),
+    ):
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                tracer.count("service.cache.hits")
+                return hit
+            tracer.count("service.cache.misses")
+        response = _solve(request, key, budget, tracer, classify)
+        if cache is not None:
+            cache.put(key, response)
+    return response

@@ -1,0 +1,437 @@
+"""The request/response boundary: frozen, wire-serializable payloads.
+
+Every encode — interactive ``repro.api.encode`` call, harness
+``assign_states`` step, ``picola serve`` HTTP request — crosses this
+boundary as an :class:`EncodeRequest` and comes back as an
+:class:`EncodeResponse`.  Both are frozen dataclasses with a canonical
+dict form (:meth:`to_dict` / :meth:`from_dict`), so the same payload
+travels unchanged between the in-process facade, the process-pool
+batcher and the JSON daemon.
+
+Conventions:
+
+* the *symbol order* is significant (it is the row order of the
+  paper's constraint matrix); the *constraint order* and *option key
+  order* are not — the content-addressed cache canonicalizes both
+  (see :mod:`repro.service.cache`);
+* QoS rides in the request: ``timeout`` (wall-clock seconds) and
+  ``max_nodes`` map onto the cooperative
+  :class:`~repro.runtime.Budget`/:class:`~repro.runtime.Deadline`
+  runtime at dispatch;
+* a response is *classified*, never an exception: ``status`` is one
+  of ``ok`` / ``infeasible`` / ``timeout`` / ``budget`` / ``failed``
+  (mirroring :mod:`repro.runtime.isolation`), with ``error`` /
+  ``error_type`` carrying the diagnostic on the non-``ok`` statuses.
+
+Options that are live Python objects (a :class:`~repro.fsm.Fsm` for
+the mustang solver, a :class:`~repro.core.PicolaOptions`) are
+supported in-process and encoded on the wire as tagged dicts
+(``{"__kiss__": ...}`` / ``{"__picola_options__": {...}}``), so a
+batch worker process or an HTTP client can express every request the
+facade can.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from types import MappingProxyType
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..encoding.codes import Encoding
+from ..encoding.constraints import ConstraintSet, FaceConstraint
+from ..runtime import Budget, InvalidSpecError
+
+__all__ = [
+    "EncodeRequest",
+    "EncodeResponse",
+    "RESPONSE_STATUSES",
+]
+
+#: every status a classified response may carry
+RESPONSE_STATUSES = (
+    "ok", "infeasible", "timeout", "budget", "failed",
+)
+
+
+# ----------------------------------------------------------------------
+# option-value wire codec (tagged dicts for the live-object options)
+# ----------------------------------------------------------------------
+_KISS_TAG = "__kiss__"
+_PICOLA_OPTIONS_TAG = "__picola_options__"
+
+
+def _encode_option(value: Any) -> Any:
+    """JSON-safe form of one option value (raises on exotic types)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_encode_option(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_encode_option(v) for v in value)
+    if isinstance(value, Mapping):
+        return {str(k): _encode_option(v) for k, v in value.items()}
+    # live objects with a canonical text/dict form
+    from ..fsm.machine import Fsm
+
+    if isinstance(value, Fsm):
+        from ..fsm.kiss import format_kiss
+
+        return {_KISS_TAG: format_kiss(value)}
+    from ..core import PicolaOptions
+
+    if isinstance(value, PicolaOptions):
+        if not isinstance(value.weights, str):
+            raise InvalidSpecError(
+                "PicolaOptions with a custom WeightPolicy object is "
+                "not wire-serializable; use a preset name"
+            )
+        return {
+            _PICOLA_OPTIONS_TAG: {
+                "use_guides": value.use_guides,
+                "dynamic_classify": value.dynamic_classify,
+                "weights": value.weights,
+                "beam_width": value.beam_width,
+                "beam_candidates": value.beam_candidates,
+                "final_repair": value.final_repair,
+            }
+        }
+    raise InvalidSpecError(
+        f"option value of type {type(value).__name__} is not "
+        "wire-serializable"
+    )
+
+
+def _decode_option(value: Any) -> Any:
+    """Inverse of :func:`_encode_option` (tagged dicts come alive)."""
+    if isinstance(value, dict):
+        if set(value) == {_KISS_TAG}:
+            from ..fsm.kiss import parse_kiss
+
+            return parse_kiss(value[_KISS_TAG], name="request-fsm")
+        if set(value) == {_PICOLA_OPTIONS_TAG}:
+            from ..core import PicolaOptions
+
+            return PicolaOptions(**value[_PICOLA_OPTIONS_TAG])
+        return {k: _decode_option(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_option(v) for v in value]
+    return value
+
+
+def _constraint_to_dict(constraint: FaceConstraint) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "symbols": sorted(constraint.symbols),
+    }
+    if constraint.kind != "original":
+        payload["kind"] = constraint.kind
+    if constraint.parent is not None:
+        payload["parent"] = sorted(constraint.parent)
+    if constraint.weight != 1.0:
+        payload["weight"] = constraint.weight
+    return payload
+
+
+def _constraint_from_any(
+    value: Union[FaceConstraint, Mapping[str, Any], Iterable[str]],
+) -> FaceConstraint:
+    if isinstance(value, FaceConstraint):
+        return value
+    if isinstance(value, Mapping):
+        unknown = set(value) - {"symbols", "kind", "parent", "weight"}
+        if unknown:
+            raise InvalidSpecError(
+                f"constraint has unknown keys {sorted(unknown)}"
+            )
+        return FaceConstraint(
+            value["symbols"],
+            kind=value.get("kind", "original"),
+            parent=value.get("parent"),
+            weight=value.get("weight", 1.0),
+        )
+    return FaceConstraint(value)
+
+
+@dataclass(frozen=True)
+class EncodeRequest:
+    """One encode problem plus solver choice, options and QoS.
+
+    Construct with :meth:`build` (accepts a
+    :class:`~repro.encoding.ConstraintSet`, ``FaceConstraint``
+    instances, plain symbol groups or wire dicts) or :meth:`from_dict`
+    for the JSON wire format.  Instances are frozen; derive variants
+    with :func:`dataclasses.replace`.
+    """
+
+    symbols: Tuple[str, ...]
+    constraints: Tuple[FaceConstraint, ...] = ()
+    solver: str = "picola"
+    options: Mapping[str, Any] = field(default_factory=dict)
+    nv: Optional[int] = None
+    #: QoS: wall-clock limit in seconds (None = unlimited)
+    timeout: Optional[float] = None
+    #: QoS: cooperative node budget (None = unlimited)
+    max_nodes: Optional[int] = None
+    #: attach a per-request trace summary to the response
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "symbols", tuple(self.symbols))
+        object.__setattr__(
+            self,
+            "constraints",
+            tuple(
+                _constraint_from_any(c) for c in self.constraints
+            ),
+        )
+        object.__setattr__(
+            self,
+            "options",
+            MappingProxyType(dict(self.options)),
+        )
+        if not self.symbols:
+            raise InvalidSpecError("a request needs at least one symbol")
+        if not self.solver or not isinstance(self.solver, str):
+            raise InvalidSpecError("solver must be a non-empty name")
+        if self.nv is not None and self.nv < 1:
+            raise InvalidSpecError("nv must be >= 1")
+        if self.timeout is not None and self.timeout < 0:
+            raise InvalidSpecError("timeout must be >= 0 seconds")
+        if self.max_nodes is not None and self.max_nodes < 0:
+            raise InvalidSpecError("max_nodes must be >= 0")
+        if "nv" in self.options and self.nv is not None:
+            raise InvalidSpecError(
+                "pass nv as the request field or in options, not both"
+            )
+        # validates symbol uniqueness and constraint membership early,
+        # so malformed requests die at the boundary, not mid-dispatch
+        self.constraint_set()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        symbols: Union[ConstraintSet, Sequence[str]],
+        constraints: Optional[Iterable[Any]] = None,
+        *,
+        solver: str = "picola",
+        options: Optional[Mapping[str, Any]] = None,
+        nv: Optional[int] = None,
+        timeout: Optional[float] = None,
+        max_nodes: Optional[int] = None,
+        trace: bool = False,
+    ) -> "EncodeRequest":
+        """The friendly constructor mirroring ``Solver.solve``."""
+        if isinstance(symbols, ConstraintSet):
+            if constraints is not None:
+                raise InvalidSpecError(
+                    "pass constraints inside the ConstraintSet, "
+                    "not both"
+                )
+            cset = symbols
+            symbols = cset.symbols
+            constraints = tuple(cset.constraints)
+        return cls(
+            symbols=tuple(symbols),
+            constraints=tuple(constraints or ()),
+            solver=solver,
+            options=dict(options or {}),
+            nv=nv,
+            timeout=timeout,
+            max_nodes=max_nodes,
+            trace=trace,
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EncodeRequest":
+        """Parse the JSON wire format (unknown keys are rejected)."""
+        if not isinstance(payload, Mapping):
+            raise InvalidSpecError(
+                "request payload must be a JSON object"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise InvalidSpecError(
+                f"request has unknown keys {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        if "symbols" not in payload:
+            raise InvalidSpecError("request is missing 'symbols'")
+        options = payload.get("options") or {}
+        if not isinstance(options, Mapping):
+            raise InvalidSpecError("'options' must be an object")
+        return cls(
+            symbols=tuple(payload["symbols"]),
+            constraints=tuple(payload.get("constraints") or ()),
+            solver=payload.get("solver", "picola"),
+            options={
+                str(k): _decode_option(v) for k, v in options.items()
+            },
+            nv=payload.get("nv"),
+            timeout=payload.get("timeout"),
+            max_nodes=payload.get("max_nodes"),
+            trace=bool(payload.get("trace", False)),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON wire format (round-trips through
+        :meth:`from_dict`; raises ``InvalidSpecError`` on options
+        that cannot cross a process boundary)."""
+        return {
+            "symbols": list(self.symbols),
+            "constraints": [
+                _constraint_to_dict(c) for c in self.constraints
+            ],
+            "solver": self.solver,
+            "options": {
+                k: _encode_option(v) for k, v in self.options.items()
+            },
+            "nv": self.nv,
+            "timeout": self.timeout,
+            "max_nodes": self.max_nodes,
+            "trace": self.trace,
+        }
+
+    # ------------------------------------------------------------------
+    def constraint_set(self) -> ConstraintSet:
+        """The problem as the solvers' native :class:`ConstraintSet`."""
+        return ConstraintSet(self.symbols, self.constraints)
+
+    def solver_options(self) -> Dict[str, Any]:
+        """The options mapping handed to the registry solver."""
+        options = dict(self.options)
+        if self.nv is not None:
+            options["nv"] = self.nv
+        return options
+
+    def make_budget(self) -> Optional[Budget]:
+        """The request's QoS as a fresh cooperative :class:`Budget`."""
+        if self.timeout is None and self.max_nodes is None:
+            return None
+        return Budget(max_nodes=self.max_nodes, seconds=self.timeout)
+
+
+@dataclass(frozen=True)
+class EncodeResponse:
+    """The classified outcome of one :class:`EncodeRequest`.
+
+    ``codes``/``n_bits`` carry the encoding on ``status == "ok"``
+    (reconstruct the rich object with :meth:`encoding`); ``stats``
+    mirrors :attr:`repro.solvers.EncodeResult.stats`.  ``cached``
+    marks a response served from the content-addressed cache — it is
+    *envelope metadata*: :meth:`payload_bytes` excludes it, so a
+    cache hit re-serves byte-identical result bytes.
+    """
+
+    status: str
+    solver: str
+    cache_key: str
+    symbols: Tuple[str, ...] = ()
+    codes: Optional[Mapping[str, int]] = None
+    n_bits: Optional[int] = None
+    seconds: float = 0.0
+    stats: Mapping[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    trace: Optional[Mapping[str, Any]] = None
+    cached: bool = False
+
+    def __post_init__(self) -> None:
+        if self.status not in RESPONSE_STATUSES:
+            raise InvalidSpecError(
+                f"bad response status {self.status!r}; "
+                f"choose from {RESPONSE_STATUSES}"
+            )
+        object.__setattr__(self, "symbols", tuple(self.symbols))
+        if self.codes is not None:
+            object.__setattr__(
+                self, "codes", MappingProxyType(dict(self.codes))
+            )
+        object.__setattr__(
+            self, "stats", MappingProxyType(dict(self.stats))
+        )
+        if self.trace is not None:
+            object.__setattr__(
+                self, "trace", MappingProxyType(dict(self.trace))
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def encoding(self) -> Encoding:
+        """The result as a rich :class:`~repro.encoding.Encoding`."""
+        if self.codes is None or self.n_bits is None:
+            raise InvalidSpecError(
+                f"response has no encoding (status={self.status!r}, "
+                f"error={self.error!r})"
+            )
+        return Encoding(self.symbols, dict(self.codes), self.n_bits)
+
+    def with_cached(self, cached: bool = True) -> "EncodeResponse":
+        """A copy flagged as (not) served from the cache."""
+        return replace(self, cached=cached)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The result payload (everything except the ``cached``
+        envelope flag), JSON-safe and deterministic."""
+        return {
+            "status": self.status,
+            "solver": self.solver,
+            "cache_key": self.cache_key,
+            "symbols": list(self.symbols),
+            "codes": dict(self.codes) if self.codes is not None else None,
+            "n_bits": self.n_bits,
+            "seconds": self.seconds,
+            "stats": {
+                k: _encode_option(v) for k, v in self.stats.items()
+            },
+            "error": self.error,
+            "error_type": self.error_type,
+            "trace": dict(self.trace) if self.trace is not None else None,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: Mapping[str, Any], *, cached: bool = False
+    ) -> "EncodeResponse":
+        known = {f.name for f in fields(cls)} - {"cached"}
+        unknown = set(payload) - known
+        if unknown:
+            raise InvalidSpecError(
+                f"response has unknown keys {sorted(unknown)}"
+            )
+        return cls(
+            status=payload["status"],
+            solver=payload["solver"],
+            cache_key=payload["cache_key"],
+            symbols=tuple(payload.get("symbols") or ()),
+            codes=payload.get("codes"),
+            n_bits=payload.get("n_bits"),
+            seconds=payload.get("seconds", 0.0),
+            stats=payload.get("stats") or {},
+            error=payload.get("error"),
+            error_type=payload.get("error_type"),
+            trace=payload.get("trace"),
+            cached=cached,
+        )
+
+    def payload_bytes(self) -> bytes:
+        """Canonical JSON bytes of :meth:`to_dict` — the unit of the
+        byte-identical cache-hit guarantee."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")

@@ -1,0 +1,456 @@
+"""``picola serve`` — the stdlib HTTP/JSON encode daemon.
+
+A :class:`ThreadingHTTPServer` front end over the service layer:
+
+* ``POST /v1/encode``  — one :class:`EncodeRequest` as JSON; answers
+  ``{"cached": bool, "result": {...}}`` where ``result`` is the
+  canonical response payload.  A repeated identical request is served
+  from the content-addressed cache **byte-identically** (``result``
+  bytes are re-emitted verbatim; only the ``cached`` envelope flag
+  flips).
+* ``POST /v1/batch``   — ``{"requests": [...]}``; the batch runs
+  through :func:`repro.service.batch.encode_many` on the process
+  pool (``--jobs``), results in submission order.
+* ``GET /healthz``     — liveness + version + solver menu.
+* ``GET /v1/stats``    — cache/queue/counter snapshot.
+
+QoS and robustness:
+
+* per-request deadlines: the request's ``timeout``/``max_nodes``
+  map onto the cooperative :class:`~repro.runtime.Budget` runtime;
+  requests without a timeout inherit ``--default-timeout`` when set;
+* **micro-batching**: handler threads enqueue onto a single batcher
+  thread which drains up to ``batch_max`` requests (waiting at most
+  ``batch_wait`` seconds for stragglers) and fans them through the
+  parallel engine — concurrent clients fill batches automatically;
+* **backpressure**: at most ``queue_limit`` requests may be queued
+  or in flight; beyond that the daemon answers a classified
+  ``429 {"error": {"type": "overloaded"}}`` instead of growing an
+  unbounded queue;
+* transport errors are JSON too: malformed payloads are ``400`` with
+  the taxonomy class name, unknown paths ``404``; *solver* failures
+  are not transport errors — they come back ``200`` with a classified
+  non-``ok`` ``result.status``, exactly like the in-process facade.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional
+
+from ..obs import resolve_tracer
+from ..runtime import InvalidSpecError, ReproError
+from ..solvers import list_solvers
+from .batch import encode_many
+from .cache import ResultCache
+from .request import EncodeRequest, EncodeResponse
+
+__all__ = ["ServerConfig", "ServiceState", "PicolaServer", "make_server", "serve"]
+
+#: maximum request body the daemon will read (16 MiB)
+_MAX_BODY = 16 << 20
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything ``picola serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    #: worker processes per batch (engine semantics: 0 = all cores)
+    jobs: int = 1
+    #: content-addressed result cache capacity (0 disables caching)
+    cache_size: int = 1024
+    #: max requests queued or in flight before 429s (>= 1)
+    queue_limit: int = 64
+    #: seconds the batcher waits to aggregate a batch
+    batch_wait: float = 0.01
+    #: max requests per micro-batch
+    batch_max: int = 16
+    #: timeout applied to requests that carry none (None = unlimited)
+    default_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise InvalidSpecError("queue_limit must be >= 1")
+        if self.batch_max < 1:
+            raise InvalidSpecError("batch_max must be >= 1")
+        if self.batch_wait < 0:
+            raise InvalidSpecError("batch_wait must be >= 0")
+
+
+class ServiceState:
+    """Shared daemon state: cache, tracer, admission control."""
+
+    def __init__(self, config: ServerConfig, tracer: Any = None) -> None:
+        self.config = config
+        self.cache = ResultCache(config.cache_size)
+        self.tracer = resolve_tracer(tracer)
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self.rejected = 0
+
+    # -- admission control (the backpressure boundary) -----------------
+    def try_acquire(self, n: int = 1) -> bool:
+        """Claim ``n`` queue slots; ``False`` means shed the load."""
+        with self._lock:
+            if self._in_flight + n > self.config.queue_limit:
+                self.rejected += n
+                self.tracer.count("service.rejected", n)
+                return False
+            self._in_flight += n
+            return True
+
+    def release(self, n: int = 1) -> None:
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - n)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def stats(self) -> Dict[str, Any]:
+        snapshot: Dict[str, Any] = {
+            "cache": self.cache.stats(),
+            "queue": {
+                "in_flight": self.in_flight,
+                "limit": self.config.queue_limit,
+                "rejected": self.rejected,
+            },
+        }
+        if getattr(self.tracer, "enabled", False):
+            snapshot["counters"] = self.tracer.counters()
+        return snapshot
+
+    def apply_qos(self, request: EncodeRequest) -> EncodeRequest:
+        """Server-side QoS defaults for requests that carry none."""
+        if (
+            request.timeout is None
+            and self.config.default_timeout is not None
+        ):
+            return replace(
+                request, timeout=self.config.default_timeout
+            )
+        return request
+
+
+class _Pending:
+    """One queued request waiting for its batch to complete."""
+
+    __slots__ = ("request", "event", "response", "error")
+
+    def __init__(self, request: EncodeRequest) -> None:
+        self.request = request
+        self.event = threading.Event()
+        self.response: Optional[EncodeResponse] = None
+        self.error: Optional[str] = None
+
+
+_STOP = object()
+
+
+class _Batcher(threading.Thread):
+    """The micro-batching loop: drain, group, fan out, answer."""
+
+    def __init__(self, state: ServiceState) -> None:
+        super().__init__(name="picola-serve-batcher", daemon=True)
+        self.state = state
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._stopped = False
+
+    def submit(self, request: EncodeRequest) -> _Pending:
+        pending = _Pending(request)
+        self._queue.put(pending)
+        return pending
+
+    def stop(self) -> None:
+        if not self._stopped:
+            self._stopped = True
+            self._queue.put(_STOP)
+
+    def run(self) -> None:
+        config = self.state.config
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            batch: List[_Pending] = [item]
+            if config.batch_max > 1 and config.batch_wait > 0:
+                deadline = time.monotonic() + config.batch_wait
+                while len(batch) < config.batch_max:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                    if nxt is _STOP:
+                        self._process(batch)
+                        return
+                    batch.append(nxt)
+            self._process(batch)
+
+    def _process(self, batch: List[_Pending]) -> None:
+        try:
+            responses = encode_many(
+                [pending.request for pending in batch],
+                jobs=self.state.config.jobs,
+                cache=self.state.cache,
+                tracer=self.state.tracer,
+            )
+            for pending, response in zip(batch, responses):
+                pending.response = response
+        except Exception as exc:  # repro: noqa[RPA003] -- the daemon must answer 500 and keep serving, not die with a waiting client
+            for pending in batch:
+                pending.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            for pending in batch:
+                pending.event.set()
+
+
+def _envelope(response: EncodeResponse) -> bytes:
+    """The encode answer: cached flag spliced around the canonical
+    result bytes, so a cache hit re-serves the stored payload
+    byte-for-byte."""
+    flag = b"true" if response.cached else b"false"
+    return (
+        b'{"cached":' + flag + b',"result":'
+        + response.payload_bytes() + b"}"
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route table of the daemon; one instance per connection."""
+
+    protocol_version = "HTTP/1.1"
+
+    # these are set by make_server on the server object
+    @property
+    def state(self) -> ServiceState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    @property
+    def batcher(self) -> _Batcher:
+        return self.server.batcher  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # the CLI owns stdout; tracing owns diagnostics
+
+    def _send_bytes(
+        self, code: int, body: bytes, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+        self._send_bytes(
+            code,
+            json.dumps(
+                payload, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8"),
+        )
+
+    def _send_error_json(
+        self,
+        code: int,
+        error_type: str,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(
+            {
+                "error": {
+                    "type": error_type,
+                    "message": message,
+                    "status": code,
+                }
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        self._send_bytes(code, body, headers)
+
+    def _read_payload(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise InvalidSpecError("request body is empty")
+        if length > _MAX_BODY:
+            raise InvalidSpecError(
+                f"request body exceeds {_MAX_BODY} bytes"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise InvalidSpecError(f"invalid JSON: {exc}") from exc
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path in ("/healthz", "/health"):
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "version": _version(),
+                    "solvers": list(list_solvers()),
+                },
+            )
+        elif self.path == "/v1/stats":
+            self._send_json(200, self.state.stats())
+        else:
+            self._send_error_json(
+                404, "NotFound", f"unknown path {self.path!r}"
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/v1/encode":
+            self._handle_encode()
+        elif self.path == "/v1/batch":
+            self._handle_batch()
+        else:
+            self._send_error_json(
+                404, "NotFound", f"unknown path {self.path!r}"
+            )
+
+    def _handle_encode(self) -> None:
+        try:
+            request = self.state.apply_qos(
+                EncodeRequest.from_dict(self._read_payload())
+            )
+        except ReproError as exc:
+            self._send_error_json(400, type(exc).__name__, str(exc))
+            return
+        if not self.state.try_acquire():
+            self._send_error_json(
+                429,
+                "overloaded",
+                "queue limit reached; retry later",
+                {"Retry-After": "1"},
+            )
+            return
+        try:
+            pending = self.batcher.submit(request)
+            pending.event.wait()
+        finally:
+            self.state.release()
+        if pending.response is None:
+            self._send_error_json(
+                500, "internal", pending.error or "batcher failed"
+            )
+            return
+        self._send_bytes(200, _envelope(pending.response))
+
+    def _handle_batch(self) -> None:
+        try:
+            payload = self._read_payload()
+            if (
+                not isinstance(payload, dict)
+                or not isinstance(payload.get("requests"), list)
+            ):
+                raise InvalidSpecError(
+                    "batch payload must be "
+                    '{"requests": [<request>, ...]}'
+                )
+            requests = [
+                self.state.apply_qos(EncodeRequest.from_dict(entry))
+                for entry in payload["requests"]
+            ]
+        except ReproError as exc:
+            self._send_error_json(400, type(exc).__name__, str(exc))
+            return
+        if not requests:
+            self._send_json(200, {"results": []})
+            return
+        if not self.state.try_acquire(len(requests)):
+            self._send_error_json(
+                429,
+                "overloaded",
+                f"batch of {len(requests)} exceeds free queue slots",
+                {"Retry-After": "1"},
+            )
+            return
+        try:
+            pendings = [
+                self.batcher.submit(request) for request in requests
+            ]
+            for pending in pendings:
+                pending.event.wait()
+        finally:
+            self.state.release(len(requests))
+        failed = [p for p in pendings if p.response is None]
+        if failed:
+            self._send_error_json(
+                500, "internal", failed[0].error or "batcher failed"
+            )
+            return
+        body = (
+            b'{"results":['
+            + b",".join(_envelope(p.response) for p in pendings)
+            + b"]}"
+        )
+        self._send_bytes(200, body)
+
+
+def _version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+class PicolaServer(ThreadingHTTPServer):
+    """The daemon: a threading HTTP server plus service state."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, config: ServerConfig, tracer: Any = None) -> None:
+        super().__init__((config.host, config.port), _Handler)
+        self.state = ServiceState(config, tracer)
+        self.batcher = _Batcher(self.state)
+        self.batcher.start()
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def server_close(self) -> None:
+        self.batcher.stop()
+        super().server_close()
+        self.batcher.join(timeout=5.0)
+
+
+def make_server(
+    config: Optional[ServerConfig] = None, *, tracer: Any = None
+) -> PicolaServer:
+    """Build (and bind) the daemon without starting the serve loop;
+    ``port=0`` binds an ephemeral port (see ``server.url``)."""
+    return PicolaServer(config or ServerConfig(), tracer)
+
+
+def serve(
+    config: Optional[ServerConfig] = None, *, tracer: Any = None
+) -> int:
+    """Run the daemon until interrupted; returns the exit code."""
+    server = make_server(config, tracer=tracer)
+    print(f"picola serve listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("picola serve: shutting down", flush=True)
+    finally:
+        server.server_close()
+    return 0

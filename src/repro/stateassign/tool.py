@@ -28,6 +28,8 @@ from ..obs import resolve_tracer
 from ..runtime import Budget, InvalidSpecError
 from ..espresso import EspressoStats, Pla, espresso_pla
 from ..fsm import Fsm, encode_fsm
+from ..service.dispatch import execute
+from ..service.request import EncodeRequest
 from ..solvers import get_solver
 
 __all__ = ["AssignmentResult", "assign_states", "METHODS"]
@@ -129,14 +131,21 @@ def _encode(
         options["fsm"] = fsm
     if solver_name == "picola" and picola_options is not None:
         options["picola_options"] = picola_options
-    result = solver.solve(
-        cset, options=options, budget=budget, tracer=tracer
+    # through the service layer: same dispatch path as the facade and
+    # the daemon.  classify=False keeps the raw exception for the
+    # harness' per-benchmark fault isolation; no cache — Table II's
+    # timing column must measure real solves
+    request = EncodeRequest.build(
+        cset, solver=solver_name, options=options
+    )
+    response = execute(
+        request, budget=budget, tracer=tracer, classify=False
     )
     for key in _EXTRA_KEYS[solver_name]:
-        if key in result.stats:
-            extra[key] = result.stats[key]
-    extra["encode_nodes"] = result.nodes
-    return result.encoding
+        if key in response.stats:
+            extra[key] = response.stats[key]
+    extra["encode_nodes"] = int(response.stats.get("nodes", 0))
+    return response.encoding()
 
 
 def assign_states(

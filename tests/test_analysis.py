@@ -255,6 +255,63 @@ class TestRuleFixtures:
         report = _lint(tmp_path, {"harness/x.py": good})
         assert report.findings_for("RPA007") == []
 
+    def test_service_payload_direct_encode_call(self, tmp_path):
+        bad = (
+            "def execute(request):\n"
+            "    return picola_encode(request.constraint_set())\n"
+        )
+        report = _lint(tmp_path, {"service/d.py": bad})
+        (finding,) = report.findings_for("RPA009")
+        assert "picola_encode" in finding.message
+        assert "get_solver" in finding.message
+
+    def test_service_payload_adhoc_dict_return(self, tmp_path):
+        bad = (
+            "def handle_encode(payload):\n"
+            "    return {'status': 'ok', 'codes': {}}\n"
+        )
+        report = _lint(tmp_path, {"service/server2.py": bad})
+        (finding,) = report.findings_for("RPA009")
+        assert "ad-hoc dict payload" in finding.message
+
+    def test_service_payload_api_module_in_scope(self, tmp_path):
+        bad = (
+            "def encode(request):\n"
+            "    return {'status': 'ok'}\n"
+        )
+        report = _lint(tmp_path, {"api.py": bad})
+        assert report.findings_for("RPA009")
+
+    def test_service_payload_clean(self, tmp_path):
+        good = (
+            "def execute(request):\n"
+            "    solver = get_solver(request.solver)\n"
+            "    result = solver.solve(request.constraint_set())\n"
+            "    return EncodeResponse(status='ok', solver='x',\n"
+            "                          cache_key='')\n"
+            "def encode_worker(payload):\n"
+            "    return execute(\n"
+            "        EncodeRequest.from_dict(payload)).to_dict()\n"
+        )
+        report = _lint(tmp_path, {"service/d.py": good})
+        assert report.findings_for("RPA009") == []
+
+    def test_service_payload_ignores_out_of_scope(self, tmp_path):
+        bad = (
+            "def encode(request):\n"
+            "    return {'status': picola_encode(request)}\n"
+        )
+        report = _lint(tmp_path, {"harness/other.py": bad})
+        assert report.findings_for("RPA009") == []
+
+    def test_service_payload_private_helpers_clean(self, tmp_path):
+        good = (
+            "def handle(payload):\n"
+            "    return self._handle_encode(payload)\n"
+        )
+        report = _lint(tmp_path, {"service/srv.py": good})
+        assert report.findings_for("RPA009") == []
+
     def test_bulk_kernel_loop_true_positive(self, tmp_path):
         bad = (
             "__bulk_kernel__ = True\n"
@@ -517,9 +574,9 @@ class TestSelfCheck:
         assert a.fingerprint == b.fingerprint != c.fingerprint
 
 
-class TestDeprecationStacklevel:
-    """The positional-nv warning must point at the *caller* (satellite:
-    stacklevel=2), so external users see their own file in the message."""
+class TestPositionalNvRemoved:
+    """Positional nv is gone (1.6.0): the old DeprecationWarning became
+    a TypeError whose message names the migration path."""
 
     def _cset(self):
         syms = [f"s{i}" for i in range(4)]
@@ -527,26 +584,29 @@ class TestDeprecationStacklevel:
             syms, [FaceConstraint({"s0", "s1"})]
         )
 
-    def test_exact_encode_warning_points_here(self):
+    def test_exact_encode_raises_with_migration(self):
         from repro.encoding.exact import exact_encode
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
+        with pytest.raises(TypeError) as exc_info:
             exact_encode(self._cset(), 2)
-        dep = [
-            w for w in caught
-            if issubclass(w.category, DeprecationWarning)
-        ]
-        assert dep and dep[0].filename == __file__
+        message = str(exc_info.value)
+        assert "removed in 1.6.0" in message
+        assert "nv=..." in message
 
-    def test_nova_encode_warning_points_here(self):
+    def test_nova_encode_raises_with_migration(self):
         from repro.baselines.nova import nova_encode
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
+        with pytest.raises(TypeError) as exc_info:
             nova_encode(self._cset(), 2)
-        dep = [
-            w for w in caught
-            if issubclass(w.category, DeprecationWarning)
-        ]
-        assert dep and dep[0].filename == __file__
+        message = str(exc_info.value)
+        assert "removed in 1.6.0" in message
+        assert "get_solver('nova')" in message
+
+    def test_no_deprecation_warning_machinery_left(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.baselines.nova import nova_encode
+            from repro.encoding.exact import exact_encode
+
+            exact_encode(self._cset(), nv=2)
+            nova_encode(self._cset(), nv=2)

@@ -1,0 +1,506 @@
+"""Tests for the encoding service layer (PR: encoding-as-a-service).
+
+Covers the request/response boundary, the single dispatch path
+(:func:`repro.service.dispatch.execute`), the content-addressed cache
+contract (hit counter increments, no solver span on a hit,
+byte-identical payloads), batch dispatch equivalence with serial, the
+``repro.api`` facade, and the daemon's admission control.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro
+from repro.api import encode, encode_many
+from repro.core import PicolaOptions
+from repro.encoding import ConstraintSet, FaceConstraint
+from repro.fsm import load_benchmark
+from repro.obs import MemorySink, Tracer
+from repro.runtime import (
+    Budget,
+    BudgetExceeded,
+    InvalidSpecError,
+    ReproError,
+)
+from repro.service import (
+    EncodeRequest,
+    EncodeResponse,
+    REQUEST_SPAN,
+    ResultCache,
+    SOLVE_SPAN,
+    ServerConfig,
+    cache_key,
+    execute,
+)
+from repro.service.server import ServiceState
+
+
+def simple_request(solver="picola", **kwargs):
+    return EncodeRequest.build(
+        ["s0", "s1", "s2", "s3"],
+        [{"symbols": ["s0", "s1"]}, {"symbols": ["s2", "s3"]}],
+        solver=solver,
+        **kwargs,
+    )
+
+
+def span_names(sink):
+    return [e["name"] for e in sink.spans]
+
+
+class TestEncodeRequest:
+    def test_build_from_parts(self):
+        request = simple_request()
+        assert request.symbols == ("s0", "s1", "s2", "s3")
+        assert len(request.constraints) == 2
+        assert request.solver == "picola"
+
+    def test_build_from_constraint_set(self):
+        cset = ConstraintSet(
+            ["a", "b", "c"], [FaceConstraint({"a", "b"})]
+        )
+        request = EncodeRequest.build(cset, solver="exact")
+        assert request.symbols == ("a", "b", "c")
+        assert request.constraint_set().symbols == ("a", "b", "c")
+
+    def test_build_rejects_cset_plus_constraints(self):
+        cset = ConstraintSet(["a", "b"], [])
+        with pytest.raises(InvalidSpecError):
+            EncodeRequest.build(cset, [{"symbols": ["a"]}])
+
+    def test_empty_symbols_rejected(self):
+        with pytest.raises(InvalidSpecError):
+            EncodeRequest(symbols=())
+
+    def test_nv_in_both_places_rejected(self):
+        with pytest.raises(InvalidSpecError):
+            EncodeRequest(
+                symbols=("a", "b"), options={"nv": 2}, nv=2
+            )
+
+    def test_bad_qos_rejected(self):
+        with pytest.raises(InvalidSpecError):
+            EncodeRequest(symbols=("a",), timeout=-1.0)
+        with pytest.raises(InvalidSpecError):
+            EncodeRequest(symbols=("a",), max_nodes=-5)
+        with pytest.raises(InvalidSpecError):
+            EncodeRequest(symbols=("a",), nv=0)
+
+    def test_constraints_validated_at_boundary(self):
+        # constraint mentions a symbol outside the alphabet
+        with pytest.raises(ReproError):
+            EncodeRequest(
+                symbols=("a", "b"),
+                constraints=({"symbols": ["a", "zzz"]},),
+            )
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(InvalidSpecError, match="unknown keys"):
+            EncodeRequest.from_dict(
+                {"symbols": ["a"], "sovler": "picola"}
+            )
+
+    def test_wire_round_trip(self):
+        request = simple_request(
+            nv=2, timeout=1.5, max_nodes=100, trace=True
+        )
+        clone = EncodeRequest.from_dict(request.to_dict())
+        assert clone == request
+        assert cache_key(clone) == cache_key(request)
+
+    def test_live_fsm_option_round_trips(self):
+        fsm = load_benchmark("lion")
+        request = EncodeRequest.build(
+            ["a", "b"], solver="mustang", options={"fsm": fsm}
+        )
+        clone = EncodeRequest.from_dict(request.to_dict())
+        assert clone.options["fsm"].n_states == fsm.n_states
+        assert cache_key(clone) == cache_key(request)
+
+    def test_picola_options_round_trip(self):
+        request = EncodeRequest.build(
+            ["a", "b"],
+            options={"picola_options": PicolaOptions(beam_width=3)},
+        )
+        clone = EncodeRequest.from_dict(request.to_dict())
+        assert clone.options["picola_options"].beam_width == 3
+
+    def test_custom_weight_policy_is_unserializable(self):
+        class Policy:
+            pass
+
+        options = PicolaOptions(weights=Policy())
+        request = EncodeRequest.build(
+            ["a", "b"], options={"picola_options": options}
+        )
+        with pytest.raises(InvalidSpecError):
+            request.to_dict()
+        assert cache_key(request) is None  # uncacheable, not an error
+
+    def test_make_budget(self):
+        assert simple_request().make_budget() is None
+        budget = simple_request(
+            timeout=2.0, max_nodes=10
+        ).make_budget()
+        assert isinstance(budget, Budget)
+
+    def test_frozen(self):
+        request = simple_request()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.solver = "nova"
+
+
+class TestEncodeResponse:
+    def test_bad_status_rejected(self):
+        with pytest.raises(InvalidSpecError):
+            EncodeResponse(status="weird", solver="x", cache_key="")
+
+    def test_payload_bytes_exclude_cached_flag(self):
+        response = execute(simple_request())
+        assert (
+            response.payload_bytes()
+            == response.with_cached(True).payload_bytes()
+        )
+
+    def test_round_trip(self):
+        response = execute(simple_request())
+        clone = EncodeResponse.from_dict(response.to_dict())
+        assert clone.payload_bytes() == response.payload_bytes()
+
+    def test_encoding_reconstruction(self):
+        response = execute(simple_request())
+        encoding = response.encoding()
+        assert encoding.n_bits == response.n_bits
+        assert set(encoding.symbols) == set(response.symbols)
+
+    def test_encoding_raises_without_codes(self):
+        response = EncodeResponse(
+            status="failed", solver="x", cache_key="", error="boom"
+        )
+        with pytest.raises(InvalidSpecError):
+            response.encoding()
+
+
+class TestExecute:
+    def test_ok_path(self):
+        response = execute(simple_request())
+        assert response.ok and response.status == "ok"
+        assert response.n_bits == 2
+        assert response.cache_key == cache_key(simple_request())
+
+    def test_unknown_solver_classified(self):
+        response = execute(simple_request(solver="nope"))
+        assert response.status == "failed"
+        assert response.error_type == "KeyError"
+
+    def test_unknown_option_classified(self):
+        request = EncodeRequest.build(
+            ["a", "b"], solver="picola", options={"bogus": 1}
+        )
+        response = execute(request)
+        assert response.status == "failed"
+        assert "bogus" in (response.error or "")
+
+    def test_infeasible_classified(self):
+        # 5 symbols cannot fit a 1-bit code
+        request = EncodeRequest.build(
+            [f"s{i}" for i in range(5)], solver="exact", nv=1
+        )
+        response = execute(request)
+        assert response.status == "infeasible"
+
+    def test_budget_classified(self):
+        request = simple_request(solver="exact", max_nodes=1)
+        response = execute(request)
+        assert response.status in ("budget", "timeout")
+
+    def test_classify_false_propagates(self):
+        request = simple_request(solver="exact", max_nodes=1)
+        with pytest.raises(BudgetExceeded):
+            execute(request, classify=False)
+
+    def test_external_budget_overrides_request_qos(self):
+        request = simple_request(solver="exact")
+        exhausted = Budget(max_nodes=1)
+        response = execute(request, budget=exhausted)
+        assert response.status in ("budget", "timeout")
+
+    def test_trace_summary_attached(self):
+        response = execute(simple_request(trace=True))
+        assert response.trace is not None
+        assert "counters" in response.trace
+        assert "timings" in response.trace
+
+    def test_no_trace_by_default(self):
+        assert execute(simple_request()).trace is None
+
+
+class TestObservabilityContract:
+    def test_request_span_and_counters(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        execute(simple_request(), tracer=tracer)
+        assert REQUEST_SPAN in span_names(sink)
+        assert SOLVE_SPAN in span_names(sink)
+        assert tracer.counters()["service.requests"] == 1
+
+    def test_cache_hit_counts_and_skips_solver_span(self):
+        cache = ResultCache()
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        execute(simple_request(), cache=cache, tracer=tracer)
+        assert tracer.counters()["service.cache.misses"] == 1
+        sink.clear()
+
+        hit = execute(simple_request(), cache=cache, tracer=tracer)
+        assert hit.cached
+        counters = tracer.counters()
+        assert counters["service.cache.hits"] == 1
+        assert counters["service.requests"] == 2
+        names = span_names(sink)
+        assert REQUEST_SPAN in names
+        assert SOLVE_SPAN not in names  # the solver never ran
+
+    def test_latency_histogram_fed(self):
+        tracer = Tracer(MemorySink())
+        execute(simple_request(), tracer=tracer)
+        timings = tracer.timings()
+        assert REQUEST_SPAN in timings
+        assert timings[REQUEST_SPAN].n == 1
+
+    def test_errors_counted(self):
+        tracer = Tracer(MemorySink())
+        execute(simple_request(solver="nope"), tracer=tracer)
+        assert tracer.counters()["service.errors"] == 1
+
+
+class TestResultCache:
+    def test_byte_identical_hit(self):
+        cache = ResultCache()
+        first = execute(simple_request(), cache=cache)
+        second = execute(simple_request(), cache=cache)
+        assert not first.cached and second.cached
+        assert second.payload_bytes() == first.payload_bytes()
+
+    def test_only_final_statuses_cached(self):
+        cache = ResultCache()
+        request = simple_request(solver="exact", max_nodes=1)
+        first = execute(request, cache=cache)
+        assert first.status in ("budget", "timeout")
+        assert len(cache) == 0  # a tighter-QoS verdict is not final
+
+    def test_infeasible_is_cached(self):
+        cache = ResultCache()
+        request = EncodeRequest.build(
+            [f"s{i}" for i in range(5)], solver="exact", nv=1
+        )
+        execute(request, cache=cache)
+        assert len(cache) == 1
+        assert execute(request, cache=cache).cached
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        for i in range(3):
+            execute(
+                EncodeRequest.build([f"a{i}", f"b{i}"]), cache=cache
+            )
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(capacity=0)
+        execute(simple_request(), cache=cache)
+        assert len(cache) == 0
+        assert not execute(simple_request(), cache=cache).cached
+
+    def test_peek_does_not_count(self):
+        cache = ResultCache()
+        key = cache_key(simple_request())
+        execute(simple_request(), cache=cache)
+        before = cache.stats()
+        assert cache.peek(key) is not None
+        assert cache.peek("absent") is None
+        after = cache.stats()
+        assert (before["hits"], before["misses"]) == (
+            after["hits"], after["misses"],
+        )
+
+    def test_qos_fields_share_a_cache_line(self):
+        cache = ResultCache()
+        execute(simple_request(), cache=cache)
+        relaxed = execute(
+            simple_request(timeout=30.0, max_nodes=10**6),
+            cache=cache,
+        )
+        assert relaxed.cached
+
+
+def _mixed_requests():
+    lion = load_benchmark("lion")
+    return [
+        simple_request(),
+        simple_request(solver="exact"),
+        EncodeRequest.build(
+            [f"q{i}" for i in range(6)],
+            [{"symbols": ["q0", "q1", "q2"]}],
+            solver="nova",
+            options={"seed": 3},
+        ),
+        EncodeRequest.build(
+            ["a", "b", "c"],
+            solver="mustang",
+            options={"fsm": lion, "variant": "p"},
+        ),
+        simple_request(),  # duplicate of [0] — exercises in-batch dedup
+    ]
+
+
+def _strip_seconds(response):
+    payload = response.to_dict()
+    payload.pop("seconds")
+    return payload, response.cached
+
+
+class TestEncodeMany:
+    def test_matches_serial_without_cache(self):
+        requests = _mixed_requests()
+        serial = encode_many(requests, jobs=1)
+        batched = encode_many(requests, jobs=2)
+        assert [_strip_seconds(r) for r in serial] == [
+            _strip_seconds(r) for r in batched
+        ]
+
+    def test_matches_serial_with_cache(self):
+        requests = _mixed_requests()
+        serial = encode_many(requests, jobs=1, cache=ResultCache())
+        batched = encode_many(requests, jobs=2, cache=ResultCache())
+        assert [_strip_seconds(r) for r in serial] == [
+            _strip_seconds(r) for r in batched
+        ]
+        # the duplicate is a hit on both paths
+        assert serial[-1].cached and batched[-1].cached
+
+    def test_warm_cache_short_circuits(self):
+        cache = ResultCache()
+        requests = _mixed_requests()
+        encode_many(requests, jobs=1, cache=cache)
+        again = encode_many(requests, jobs=2, cache=cache)
+        assert all(r.cached for r in again if r.status == "ok")
+
+    def test_counters_match_serial(self):
+        requests = _mixed_requests()
+        serial_tracer = Tracer(MemorySink())
+        encode_many(
+            requests, jobs=1, cache=ResultCache(),
+            tracer=serial_tracer,
+        )
+        batch_tracer = Tracer(MemorySink())
+        encode_many(
+            requests, jobs=2, cache=ResultCache(),
+            tracer=batch_tracer,
+        )
+        s, b = serial_tracer.counters(), batch_tracer.counters()
+        for key in (
+            "service.requests",
+            "service.cache.hits",
+            "service.cache.misses",
+        ):
+            assert s.get(key) == b.get(key), key
+
+    def test_unserializable_degrades_to_serial(self):
+        from repro.core import WeightPolicy
+
+        requests = [
+            simple_request(),
+            EncodeRequest.build(
+                ["a", "b", "c", "d"],
+                [{"symbols": ["a", "b"]}],
+                options={
+                    "picola_options": PicolaOptions(
+                        weights=WeightPolicy(guide_factor=0.4)
+                    )
+                },
+            ),
+        ]
+        assert cache_key(requests[1]) is None  # cannot cross the wire
+        responses = encode_many(requests, jobs=2)
+        assert [r.status for r in responses] == ["ok", "ok"]
+
+    def test_failures_stay_classified(self):
+        requests = [simple_request(), simple_request(solver="nope")]
+        responses = encode_many(requests, jobs=2)
+        assert responses[0].ok
+        assert responses[1].status == "failed"
+
+    def test_empty_batch(self):
+        assert encode_many([], jobs=2) == []
+
+
+class TestApiFacade:
+    def test_top_level_exports(self):
+        assert repro.encode is encode
+        assert repro.encode_many is encode_many
+        assert repro.EncodeRequest is EncodeRequest
+        assert repro.EncodeResponse is EncodeResponse
+
+    def test_encode_through_facade(self):
+        response = encode(simple_request())
+        assert response.ok
+
+    def test_facade_matches_dispatch(self):
+        direct = execute(simple_request())
+        via_api = encode(simple_request())
+        assert _strip_seconds(direct) == _strip_seconds(via_api)
+
+    def test_assign_states_routes_through_service(self):
+        """The harness pipeline dispatches via the service layer."""
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        result = repro.assign_states(
+            load_benchmark("lion"), "picola", tracer=tracer
+        )
+        assert result.encoding.n_bits >= 2
+        assert REQUEST_SPAN in span_names(sink)
+        assert SOLVE_SPAN in span_names(sink)
+
+
+class TestBackpressure:
+    def test_acquire_release(self):
+        state = ServiceState(ServerConfig(queue_limit=2))
+        assert state.try_acquire()
+        assert state.try_acquire()
+        assert not state.try_acquire()
+        state.release()
+        assert state.try_acquire()
+
+    def test_batch_admission_is_all_or_nothing(self):
+        state = ServiceState(ServerConfig(queue_limit=3))
+        assert state.try_acquire(2)
+        assert not state.try_acquire(2)  # only one slot left
+        assert state.try_acquire(1)
+
+    def test_rejections_counted(self):
+        tracer = Tracer(MemorySink())
+        state = ServiceState(
+            ServerConfig(queue_limit=1), tracer=tracer
+        )
+        state.try_acquire()
+        state.try_acquire()
+        assert state.rejected == 1
+        assert tracer.counters()["service.rejected"] == 1
+        assert state.stats()["queue"]["rejected"] == 1
+
+    def test_config_validation(self):
+        with pytest.raises(InvalidSpecError):
+            ServerConfig(queue_limit=0)
+        with pytest.raises(InvalidSpecError):
+            ServerConfig(batch_max=0)
+        with pytest.raises(InvalidSpecError):
+            ServerConfig(batch_wait=-0.1)
+
+    def test_default_timeout_applied(self):
+        state = ServiceState(ServerConfig(default_timeout=5.0))
+        tightened = state.apply_qos(simple_request())
+        assert tightened.timeout == 5.0
+        explicit = state.apply_qos(simple_request(timeout=1.0))
+        assert explicit.timeout == 1.0

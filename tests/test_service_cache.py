@@ -1,0 +1,295 @@
+"""Property tests for the content-addressed cache key.
+
+The key must be a pure function of the request *content*:
+
+* insensitive to constraint ordering and option-dict insertion order
+  (two spellings of the same problem share a cache line);
+* sensitive to the symbols (and their order — it is the constraint
+  matrix row order), the solver, the options, ``nv`` and constraint
+  weights (different problems never collide);
+* stable across processes and ``PYTHONHASHSEED`` values (no Python
+  ``hash()`` leakage), so a daemon restart re-serves its corpus.
+"""
+
+import json
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import EncodeRequest, cache_key, canonical_payload
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+_SYMBOLS = [f"s{i}" for i in range(8)]
+
+
+@st.composite
+def constraint_dicts(draw):
+    members = draw(
+        st.lists(
+            st.sampled_from(_SYMBOLS),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    constraint = {"symbols": members}
+    if draw(st.booleans()):
+        constraint["weight"] = draw(
+            st.floats(
+                min_value=0.25, max_value=4.0,
+                allow_nan=False, allow_infinity=False,
+            )
+        )
+    return constraint
+
+
+@st.composite
+def requests(draw):
+    constraints = draw(
+        st.lists(constraint_dicts(), max_size=4)
+    )
+    options = draw(
+        st.dictionaries(
+            st.sampled_from(["seed", "variant", "scheme", "alpha"]),
+            st.one_of(
+                st.integers(min_value=0, max_value=9),
+                st.sampled_from(["a", "b"]),
+            ),
+            max_size=3,
+        )
+    )
+    return EncodeRequest(
+        symbols=tuple(_SYMBOLS),
+        constraints=tuple(constraints),
+        solver=draw(st.sampled_from(["picola", "exact", "nova"])),
+        options=options,
+        nv=draw(st.one_of(st.none(), st.integers(3, 6))),
+    )
+
+
+# ---------------------------------------------------------------------------
+# order-insensitivity
+# ---------------------------------------------------------------------------
+
+
+class TestOrderInsensitivity:
+    @settings(max_examples=60, deadline=None)
+    @given(requests(), st.randoms(use_true_random=False))
+    def test_constraint_order_never_changes_the_key(self, req, rng):
+        shuffled = list(req.constraints)
+        rng.shuffle(shuffled)
+        clone = EncodeRequest(
+            symbols=req.symbols,
+            constraints=tuple(shuffled),
+            solver=req.solver,
+            options=dict(req.options),
+            nv=req.nv,
+        )
+        assert cache_key(clone) == cache_key(req)
+
+    @settings(max_examples=60, deadline=None)
+    @given(requests(), st.randoms(use_true_random=False))
+    def test_option_insertion_order_never_changes_the_key(
+        self, req, rng
+    ):
+        items = list(req.options.items())
+        rng.shuffle(items)
+        clone = EncodeRequest(
+            symbols=req.symbols,
+            constraints=req.constraints,
+            solver=req.solver,
+            options=dict(items),
+            nv=req.nv,
+        )
+        assert cache_key(clone) == cache_key(req)
+
+    @settings(max_examples=60, deadline=None)
+    @given(requests())
+    def test_qos_and_trace_never_change_the_key(self, req):
+        import dataclasses
+
+        relaxed = dataclasses.replace(
+            req, timeout=30.0, max_nodes=10**6, trace=True
+        )
+        assert cache_key(relaxed) == cache_key(req)
+
+    @settings(max_examples=60, deadline=None)
+    @given(requests())
+    def test_wire_round_trip_preserves_the_key(self, req):
+        clone = EncodeRequest.from_dict(
+            json.loads(json.dumps(req.to_dict()))
+        )
+        assert cache_key(clone) == cache_key(req)
+
+
+# ---------------------------------------------------------------------------
+# sensitivity — different problems never share a key
+# ---------------------------------------------------------------------------
+
+
+class TestSensitivity:
+    @settings(max_examples=60, deadline=None)
+    @given(requests())
+    def test_solver_is_part_of_the_key(self, req):
+        import dataclasses
+
+        other = "exact" if req.solver != "exact" else "nova"
+        changed = dataclasses.replace(req, solver=other)
+        assert cache_key(changed) != cache_key(req)
+
+    @settings(max_examples=60, deadline=None)
+    @given(requests())
+    def test_nv_is_part_of_the_key(self, req):
+        import dataclasses
+
+        changed = dataclasses.replace(
+            req, nv=(req.nv or 3) + 1
+        )
+        assert cache_key(changed) != cache_key(req)
+
+    @settings(max_examples=60, deadline=None)
+    @given(requests())
+    def test_options_are_part_of_the_key(self, req):
+        extra = dict(req.options)
+        extra["seed"] = (
+            0 if not isinstance(extra.get("seed"), int)
+            else extra["seed"] + 1
+        )
+        changed = EncodeRequest(
+            symbols=req.symbols,
+            constraints=req.constraints,
+            solver=req.solver,
+            options=extra,
+            nv=req.nv,
+        )
+        assert cache_key(changed) != cache_key(req)
+
+    @settings(max_examples=60, deadline=None)
+    @given(requests())
+    def test_symbol_order_is_part_of_the_key(self, req):
+        # symbols are the constraint-matrix row order: reversing them
+        # states a different problem instance
+        changed = EncodeRequest(
+            symbols=tuple(reversed(req.symbols)),
+            constraints=req.constraints,
+            solver=req.solver,
+            options=dict(req.options),
+            nv=req.nv,
+        )
+        assert cache_key(changed) != cache_key(req)
+
+    def test_constraint_weight_is_part_of_the_key(self):
+        def req_with_weight(weight):
+            return EncodeRequest(
+                symbols=("a", "b", "c"),
+                constraints=(
+                    {"symbols": ["a", "b"], "weight": weight},
+                ),
+            )
+
+        assert cache_key(req_with_weight(1.0)) != cache_key(
+            req_with_weight(2.0)
+        )
+
+    def test_constraint_kind_is_part_of_the_key(self):
+        original = EncodeRequest(
+            symbols=("a", "b", "c"),
+            constraints=({"symbols": ["a", "b"]},),
+        )
+        guide = EncodeRequest(
+            symbols=("a", "b", "c"),
+            constraints=(
+                {
+                    "symbols": ["a", "b"],
+                    "kind": "guide",
+                    "parent": ["a", "b", "c"],
+                },
+            ),
+        )
+        assert cache_key(original) != cache_key(guide)
+
+
+# ---------------------------------------------------------------------------
+# cross-process stability — no PYTHONHASHSEED leakage
+# ---------------------------------------------------------------------------
+
+_SUBPROCESS_SNIPPET = """\
+import sys
+from repro.service import EncodeRequest, cache_key
+
+request = EncodeRequest.from_dict(
+    {
+        "symbols": ["s0", "s1", "s2", "s3"],
+        "constraints": [
+            {"symbols": ["s2", "s3"]},
+            {"symbols": ["s0", "s1"], "weight": 2.0},
+        ],
+        "solver": "picola",
+        "options": {"seed": 7},
+        "nv": 2,
+    }
+)
+sys.stdout.write(cache_key(request))
+"""
+
+
+def _key_in_fresh_process(hash_seed):
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = "src"
+    result = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SNIPPET],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        check=True,
+    )
+    return result.stdout.strip()
+
+
+class TestCrossProcessStability:
+    def test_key_is_stable_across_hash_seeds(self):
+        keys = {
+            _key_in_fresh_process(seed) for seed in ("0", "1", "4242")
+        }
+        assert len(keys) == 1
+        key = keys.pop()
+        assert len(key) == 64  # sha256 hex
+
+    def test_subprocess_key_matches_in_process(self):
+        request = EncodeRequest.from_dict(
+            {
+                "symbols": ["s0", "s1", "s2", "s3"],
+                "constraints": [
+                    {"symbols": ["s2", "s3"]},
+                    {"symbols": ["s0", "s1"], "weight": 2.0},
+                ],
+                "solver": "picola",
+                "options": {"seed": 7},
+                "nv": 2,
+            }
+        )
+        assert _key_in_fresh_process("3") == cache_key(request)
+
+    def test_canonical_payload_is_plain_deterministic_json(self):
+        request = EncodeRequest(
+            symbols=("b", "a"),
+            constraints=({"symbols": ["a", "b"]},),
+            options={"z": 1, "a": 2},
+        )
+        payload = canonical_payload(request)
+        assert json.loads(payload)  # valid JSON
+        assert payload == canonical_payload(request)
+        # sorted keys, compact separators
+        assert payload.index('"constraints"') < payload.index(
+            '"options"'
+        )
+        assert ", " not in payload

@@ -1,0 +1,332 @@
+"""Live-daemon tests for ``picola serve`` (HTTP/JSON front end).
+
+Each test binds an ephemeral port (``port=0``), drives the server
+over real sockets with :mod:`urllib`, and asserts the wire contract:
+envelope shape, byte-identical cache hits, batch semantics, classified
+transport errors (400/404/429) and the stats endpoint.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MemorySink, Tracer
+from repro.service import ServerConfig, make_server
+from repro.service.server import ServiceState
+
+
+@pytest.fixture
+def server():
+    srv = make_server(ServerConfig(port=0, jobs=1, queue_limit=8))
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5.0)
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post_raw(url, body: bytes):
+    request = urllib.request.Request(
+        url,
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _post(url, payload):
+    status, body = _post_raw(url, json.dumps(payload).encode())
+    return status, json.loads(body)
+
+
+ENCODE_PAYLOAD = {
+    "symbols": ["a", "b", "c", "d"],
+    "constraints": [
+        {"symbols": ["a", "b"]},
+        {"symbols": ["c", "d"]},
+    ],
+    "solver": "picola",
+}
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert "picola" in body["solvers"]
+        import repro
+
+        assert body["version"] == repro.__version__
+
+    def test_unknown_path_is_classified_404(self, server):
+        status, body = _get(server.url + "/nope")
+        assert status == 404
+        assert body["error"]["type"] == "NotFound"
+        status, body = _post(server.url + "/v1/nope", {})
+        assert status == 404
+
+    def test_stats_endpoint(self, server):
+        _post(server.url + "/v1/encode", ENCODE_PAYLOAD)
+        status, body = _get(server.url + "/v1/stats")
+        assert status == 200
+        assert body["cache"]["entries"] == 1
+        assert body["queue"]["limit"] == 8
+
+
+class TestEncodeEndpoint:
+    def test_answers_encode_requests(self, server):
+        status, body = _post(
+            server.url + "/v1/encode", ENCODE_PAYLOAD
+        )
+        assert status == 200
+        assert body["cached"] is False
+        result = body["result"]
+        assert result["status"] == "ok"
+        assert result["n_bits"] == 2
+        assert set(result["codes"]) == {"a", "b", "c", "d"}
+
+    def test_repeat_is_byte_identical_cache_hit(self, server):
+        _, first = _post_raw(
+            server.url + "/v1/encode",
+            json.dumps(ENCODE_PAYLOAD).encode(),
+        )
+        _, second = _post_raw(
+            server.url + "/v1/encode",
+            json.dumps(ENCODE_PAYLOAD).encode(),
+        )
+        assert json.loads(first)["cached"] is False
+        assert json.loads(second)["cached"] is True
+        # the result payload is re-served byte for byte; only the
+        # envelope's cached flag differs
+        prefix = b'"result":'
+        assert first.split(prefix, 1)[1] == second.split(prefix, 1)[1]
+
+    def test_constraint_order_hits_the_same_cache_line(self, server):
+        _post(server.url + "/v1/encode", ENCODE_PAYLOAD)
+        reordered = dict(
+            ENCODE_PAYLOAD,
+            constraints=list(reversed(ENCODE_PAYLOAD["constraints"])),
+        )
+        _, body = _post(server.url + "/v1/encode", reordered)
+        assert body["cached"] is True
+
+    def test_solver_failure_is_http_200_classified(self, server):
+        payload = dict(ENCODE_PAYLOAD, solver="nope")
+        status, body = _post(server.url + "/v1/encode", payload)
+        assert status == 200  # a classified result, not a transport error
+        assert body["result"]["status"] == "failed"
+
+    def test_per_request_deadline_maps_to_budget(self, server):
+        payload = {
+            "symbols": [f"s{i}" for i in range(8)],
+            "constraints": [{"symbols": ["s0", "s1", "s2"]}],
+            "solver": "exact",
+            "max_nodes": 1,
+        }
+        status, body = _post(server.url + "/v1/encode", payload)
+        assert status == 200
+        assert body["result"]["status"] in ("budget", "timeout")
+
+    def test_malformed_json_is_400(self, server):
+        status, body = _post_raw(
+            server.url + "/v1/encode", b"{not json"
+        )
+        error = json.loads(body)["error"]
+        assert status == 400
+        assert "JSON" in error["message"]
+
+    def test_unknown_key_is_400(self, server):
+        status, body = _post(
+            server.url + "/v1/encode",
+            dict(ENCODE_PAYLOAD, sovler="picola"),
+        )
+        assert status == 400
+        assert body["error"]["type"] == "InvalidSpecError"
+
+    def test_empty_body_is_400(self, server):
+        status, body = _post_raw(server.url + "/v1/encode", b"")
+        assert status == 400
+
+
+class TestBatchEndpoint:
+    def test_batch_preserves_order(self, server):
+        other = {
+            "symbols": ["x", "y", "z"],
+            "constraints": [{"symbols": ["x", "y"]}],
+            "solver": "exact",
+        }
+        status, body = _post(
+            server.url + "/v1/batch",
+            {"requests": [ENCODE_PAYLOAD, other]},
+        )
+        assert status == 200
+        results = body["results"]
+        assert [r["result"]["solver"] for r in results] == [
+            "picola", "exact",
+        ]
+
+    def test_batch_duplicates_served_from_cache(self, server):
+        status, body = _post(
+            server.url + "/v1/batch",
+            {"requests": [ENCODE_PAYLOAD, ENCODE_PAYLOAD]},
+        )
+        assert status == 200
+        first, second = body["results"]
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert first["result"] == second["result"]
+
+    def test_empty_batch(self, server):
+        status, body = _post(
+            server.url + "/v1/batch", {"requests": []}
+        )
+        assert status == 200 and body == {"results": []}
+
+    def test_batch_shape_validated(self, server):
+        status, body = _post(
+            server.url + "/v1/batch", {"requests": "nope"}
+        )
+        assert status == 400
+
+    def test_oversized_batch_is_429(self, server):
+        # queue_limit is 8: an 9-request batch cannot be admitted
+        status, body = _post(
+            server.url + "/v1/batch",
+            {"requests": [ENCODE_PAYLOAD] * 9},
+        )
+        assert status == 429
+        assert body["error"]["type"] == "overloaded"
+        assert body["error"]["status"] == 429
+
+
+class TestBackpressureOverHttp:
+    def test_queue_overflow_degrades_gracefully(self):
+        """Saturate admission control; overflow answers classified
+        429 JSON and the server keeps serving afterwards."""
+        srv = make_server(
+            ServerConfig(port=0, jobs=1, queue_limit=1)
+        )
+        thread = threading.Thread(
+            target=srv.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            # hold the single admission slot without going through
+            # HTTP, so the next HTTP request overflows deterministically
+            assert srv.state.try_acquire()
+            status, body = _post(
+                srv.url + "/v1/encode", ENCODE_PAYLOAD
+            )
+            assert status == 429
+            assert body["error"]["type"] == "overloaded"
+            srv.state.release()
+            status, body = _post(
+                srv.url + "/v1/encode", ENCODE_PAYLOAD
+            )
+            assert status == 200  # recovered
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=5.0)
+
+
+class TestServerObservability:
+    def test_requests_traced_through_daemon(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        srv = make_server(
+            ServerConfig(port=0, jobs=1), tracer=tracer
+        )
+        thread = threading.Thread(
+            target=srv.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            _post(srv.url + "/v1/encode", ENCODE_PAYLOAD)
+            _post(srv.url + "/v1/encode", ENCODE_PAYLOAD)
+            counters = tracer.counters()
+            assert counters["service.requests"] == 2
+            assert counters["service.cache.hits"] == 1
+            assert counters["service.cache.misses"] == 1
+            names = [e["name"] for e in sink.spans]
+            assert "service/request" in names
+            # exactly one solve: the second request was a cache hit
+            assert names.count("service/solve") == 1
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=5.0)
+
+    def test_micro_batching_aggregates_concurrent_clients(self):
+        """Concurrent posts ride one micro-batch (single batcher
+        drain), and every client still gets its own answer."""
+        srv = make_server(
+            ServerConfig(
+                port=0, jobs=1, queue_limit=16, batch_wait=0.05
+            )
+        )
+        thread = threading.Thread(
+            target=srv.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            payloads = [
+                {
+                    "symbols": [f"s{i}", f"t{i}", f"u{i}"],
+                    "constraints": [{"symbols": [f"s{i}", f"t{i}"]}],
+                }
+                for i in range(4)
+            ]
+            results = [None] * len(payloads)
+
+            def post_one(i):
+                results[i] = _post(
+                    srv.url + "/v1/encode", payloads[i]
+                )
+
+            threads = [
+                threading.Thread(target=post_one, args=(i,))
+                for i in range(len(payloads))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            for i, (status, body) in enumerate(results):
+                assert status == 200
+                assert body["result"]["status"] == "ok"
+                assert f"s{i}" in body["result"]["codes"]
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=5.0)
+
+
+class TestServeState:
+    def test_server_url_reports_bound_port(self, server):
+        assert server.url.startswith("http://127.0.0.1:")
+        port = int(server.url.rsplit(":", 1)[1])
+        assert port > 0
+
+    def test_state_is_a_service_state(self, server):
+        assert isinstance(server.state, ServiceState)

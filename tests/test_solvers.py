@@ -194,16 +194,23 @@ class TestDeterminismAcrossApis:
         )
 
 
-class TestDeprecations:
-    def test_exact_positional_nv_warns(self, lion):
+class TestRemovedPositionalNv:
+    """Positional nv: deprecated in 1.1.0, a hard TypeError since 1.6.0."""
+
+    def test_exact_positional_nv_raises(self, lion):
         fsm, cset = lion
-        with pytest.warns(DeprecationWarning, match="nv"):
+        with pytest.raises(TypeError, match="positional nv"):
             exact_encode(cset, 2)
 
-    def test_nova_positional_nv_warns(self, lion):
+    def test_nova_positional_nv_raises(self, lion):
         fsm, cset = lion
-        with pytest.warns(DeprecationWarning, match="nv"):
+        with pytest.raises(TypeError, match="positional nv"):
             nova_encode(cset, 2)
+
+    def test_message_names_the_migration(self, lion):
+        fsm, cset = lion
+        with pytest.raises(TypeError, match=r"nv=\.\.\."):
+            exact_encode(cset, 2)
 
     def test_keyword_nv_is_clean(self, lion):
         import warnings
