@@ -13,17 +13,34 @@ RPA004  solver modules raise the taxonomy, not builtin exceptions
 RPA005  no unseeded randomness / wall clocks / bare-set iteration
 RPA006  every public ``*_encode`` sits behind ``repro.solvers``
 RPA007  no internal callers of the deprecated positional ``nv``
+RPA008  bulk-kernel modules stay on the packed (no-wrapper) API
+RPA009  the service layer speaks EncodeRequest/EncodeResponse
+RPA010  shared mutable state on a thread path is lock-guarded
+RPA011  no live lock/socket/file captured into a pool submission
+RPA012  budgets thread through every Solver.solve call chain
+RPA013  cached derived state is invalidated on every mutator exit
+RPA014  no indefinite blocking call while holding a lock
 ======  ==========================================================
 
+RPA010–RPA014 are *flow* rules: :mod:`repro.analysis.callgraph`
+builds a whole-program symbol table + call graph with per-function
+escape summaries (mutations, lock depths, blocking calls, thread and
+pool spawns), and :mod:`repro.analysis.flow` proves the concurrency /
+fork-safety invariants over the thread-reachable closure.
+
 Entry points: ``picola lint`` and ``python -m repro.analysis`` (same
-flags).  Suppress one line with ``# repro: noqa[RPA001] -- why``, a
-whole file with ``# repro: noqa-file[...]``, or record accepted debt
-in a committed baseline (``--baseline`` / ``--update-baseline``).
-Everything is pure ``ast``/``tokenize`` — linting never imports the
-code under analysis.
+flags; ``--no-flow`` skips the whole-program pass, ``--jobs N`` fans
+the per-file scan over the harness pool, ``--graph json`` dumps the
+call graph, ``--format github`` emits CI annotations).  Suppress one
+line with ``# repro: noqa[RPA001] -- why``, a whole file with
+``# repro: noqa-file[...]``, or record accepted debt in a committed
+baseline (``--baseline`` / ``--update-baseline``).  Everything is
+pure ``ast``/``tokenize`` — linting never imports the code under
+analysis.
 """
 
 from .baseline import Baseline, BaselineEntry, split_by_baseline
+from .callgraph import Program, build_program
 from .cli import main, run_lint
 from .engine import (
     AnalysisReport,
@@ -31,10 +48,13 @@ from .engine import (
     Finding,
     ProjectRule,
     Rule,
+    ScanResult,
     Suppression,
     analyze,
+    scan_file,
 )
-from .report import LintResult, render_json, render_text
+from .flow import program_for, thread_roots
+from .report import LintResult, render_github, render_json, render_text
 from .rules import DEFAULT_RULES, RULE_CLASSES, rules_by_id
 
 __all__ = [
@@ -45,15 +65,22 @@ __all__ = [
     "FileContext",
     "Finding",
     "LintResult",
+    "Program",
     "ProjectRule",
     "RULE_CLASSES",
     "Rule",
+    "ScanResult",
     "Suppression",
     "analyze",
+    "build_program",
     "main",
+    "program_for",
+    "render_github",
     "render_json",
     "render_text",
     "rules_by_id",
     "run_lint",
+    "scan_file",
     "split_by_baseline",
+    "thread_roots",
 ]

@@ -30,6 +30,10 @@ class BaselineEntry:
     fingerprint: str
     justification: str
     line: int = 0  # informational; matching ignores it
+    #: path-free hash (rule + source line); lets the stale-entry pass
+    #: follow a finding across a file move instead of reporting the
+    #: move as a stale entry plus a new finding
+    content: str = ""
 
     def matches(self, finding: Finding) -> bool:
         return (
@@ -44,6 +48,7 @@ class BaselineEntry:
             "path": self.path,
             "line": self.line,
             "fingerprint": self.fingerprint,
+            "content": self.content,
             "justification": self.justification,
         }
 
@@ -72,6 +77,7 @@ class Baseline:
                 fingerprint=e["fingerprint"],
                 justification=e.get("justification", ""),
                 line=int(e.get("line", 0)),
+                content=e.get("content", ""),
             )
             for e in data.get("entries", [])
         ]
@@ -105,6 +111,7 @@ class Baseline:
                     fingerprint=f.fingerprint,
                     justification=justification,
                     line=f.line,
+                    content=f.content_fingerprint,
                 )
                 for f in findings
             ]
@@ -136,4 +143,33 @@ def split_by_baseline(
         for i, entry in enumerate(baseline.entries)
         if i not in used
     ]
+
+    # move tracking: a finding whose file moved shows up as a "new"
+    # finding plus a "stale" entry at the old path with the same
+    # path-free content hash — pair them when the pairing is an
+    # unambiguous one-to-one match (anything ambiguous stays new +
+    # stale, the conservative report)
+    if new and stale:
+        new_by_content: Dict[str, List[Finding]] = {}
+        for finding in new:
+            key = f"{finding.rule}:{finding.content_fingerprint}"
+            new_by_content.setdefault(key, []).append(finding)
+        stale_by_content: Dict[str, List[BaselineEntry]] = {}
+        for entry in stale:
+            if not entry.content:
+                continue  # pre-1.7.0 entry: no move tracking
+            stale_by_content.setdefault(
+                f"{entry.rule}:{entry.content}", []
+            ).append(entry)
+        moved_findings: set = set()
+        moved_entries: set = set()
+        for key, candidates in new_by_content.items():
+            partners = stale_by_content.get(key, [])
+            if len(candidates) == 1 and len(partners) == 1:
+                moved_findings.add(id(candidates[0]))
+                moved_entries.add(id(partners[0]))
+                matched.append(candidates[0])
+        if moved_findings:
+            new = [f for f in new if id(f) not in moved_findings]
+            stale = [e for e in stale if id(e) not in moved_entries]
     return new, matched, stale

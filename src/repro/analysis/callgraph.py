@@ -1,0 +1,1389 @@
+"""Whole-program symbol table and call graph for the flow rules.
+
+This module turns the per-file :class:`~repro.analysis.engine.FileContext`
+list the engine already produces into one :class:`Program`:
+
+* a **symbol table** — every module, class, function and method in the
+  scanned tree, with imports (including aliased and relative ones, and
+  re-exports through package ``__init__`` files) resolved to their
+  defining module;
+* a **call graph** — one edge per syntactic call site, resolved when
+  the callee is provable from literal attribute chains (``self.m()``,
+  ``mod.f()``, a local variable whose constructor is visible, an
+  annotated parameter), and recorded as *unresolved* otherwise — the
+  flow rules treat unresolved calls conservatively, never as evidence;
+* a **shared-state escape summary** per function — module-level
+  globals mutated, ``self`` attributes mutated, blocking calls, and
+  the ``with``-statement lock depth at every one of those sites.
+
+Everything stays ``ast``-only and dependency-free, like the rest of
+the engine: the program is built from source text, never by importing
+the analyzed code.  All outputs iterate in deterministic (sorted or
+source) order so ``picola lint --graph json`` is byte-identical across
+runs and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .engine import FileContext
+
+__all__ = [
+    "BlockSite",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "MutationSite",
+    "Program",
+    "SpawnSite",
+    "build_program",
+]
+
+#: parameter names treated as cooperative budget handles (mirrors
+#: :data:`repro.analysis.rules.BUDGET_NAMES`; duplicated to keep this
+#: module import-light)
+BUDGET_NAMES = ("budget", "deadline")
+
+# ----------------------------------------------------------------------
+# type tags: a "type" is either a project class qualname
+# ("repro.obs.tracer.Tracer") or one of these builtin tags
+# ----------------------------------------------------------------------
+MUTABLE = "builtin:mutable"
+LOCK = "builtin:lock"
+EVENT = "builtin:event"
+TLOCAL = "builtin:tlocal"
+QUEUE = "builtin:queue"
+SOCKET = "builtin:socket"
+FILE = "builtin:file"
+THREAD = "builtin:thread"
+EXECUTOR = "builtin:executor"
+
+#: internally synchronized objects: mutating *through* them needs no lock
+SYNCHRONIZED_TAGS = frozenset({LOCK, EVENT, TLOCAL, QUEUE})
+
+#: live resources that must not be captured across a fork into a worker
+FORK_UNSAFE_TAGS = frozenset({LOCK, SOCKET, FILE, THREAD, EXECUTOR})
+
+_CTOR_TAGS: Dict[str, str] = {
+    "dict": MUTABLE, "list": MUTABLE, "set": MUTABLE,
+    "OrderedDict": MUTABLE, "collections.OrderedDict": MUTABLE,
+    "defaultdict": MUTABLE, "collections.defaultdict": MUTABLE,
+    "deque": MUTABLE, "collections.deque": MUTABLE,
+    "Lock": LOCK, "threading.Lock": LOCK,
+    "RLock": LOCK, "threading.RLock": LOCK,
+    "Condition": LOCK, "threading.Condition": LOCK,
+    "Semaphore": LOCK, "threading.Semaphore": LOCK,
+    "BoundedSemaphore": LOCK, "threading.BoundedSemaphore": LOCK,
+    "Event": EVENT, "threading.Event": EVENT,
+    "threading.local": TLOCAL,
+    "Queue": QUEUE, "queue.Queue": QUEUE,
+    "SimpleQueue": QUEUE, "queue.SimpleQueue": QUEUE,
+    "LifoQueue": QUEUE, "queue.LifoQueue": QUEUE,
+    "PriorityQueue": QUEUE, "queue.PriorityQueue": QUEUE,
+    "multiprocessing.Queue": QUEUE,
+    "socket.socket": SOCKET,
+    "socket.create_connection": SOCKET,
+    "socket.socketpair": SOCKET,
+    "open": FILE, "io.open": FILE, "os.fdopen": FILE,
+    "Thread": THREAD, "threading.Thread": THREAD,
+    "Timer": THREAD, "threading.Timer": THREAD,
+    "Process": THREAD, "multiprocessing.Process": THREAD,
+    "ThreadPoolExecutor": EXECUTOR, "ProcessPoolExecutor": EXECUTOR,
+    "concurrent.futures.ThreadPoolExecutor": EXECUTOR,
+    "concurrent.futures.ProcessPoolExecutor": EXECUTOR,
+}
+
+_INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+_MUTABLE_LITERALS = (
+    ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp,
+)
+
+
+def _dotted_name(expr: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _module_name(path: str) -> str:
+    """``repro/service/server.py`` → ``repro.service.server``."""
+    parts = path[:-3].split("/") if path.endswith(".py") else path.split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+# ----------------------------------------------------------------------
+# per-site records of the escape summary
+# ----------------------------------------------------------------------
+@dataclass
+class CallSite:
+    """One syntactic call, resolved or not."""
+
+    caller: str
+    callee: Optional[str]  # qualname, None = unresolved
+    label: str             # rendered target for diagnostics
+    node: ast.Call
+    lock_depth: int
+    is_ctor: bool = False
+    partial: bool = False
+    passes_budget: bool = False
+
+
+@dataclass
+class MutationSite:
+    """A direct store into shared-looking state."""
+
+    kind: str   # "global" | "self"
+    name: str   # the global name, or the self attribute
+    node: ast.AST
+    lock_depth: int
+    op: str     # "store" | "aug" | "subscript" | "del" | "deep"
+
+
+@dataclass
+class BlockSite:
+    """A call that can block the current thread indefinitely."""
+
+    what: str
+    node: ast.AST
+    lock_depth: int
+
+
+@dataclass
+class SpawnSite:
+    """A site handing work to another thread/process."""
+
+    kind: str  # "thread" | "submit" | "unit"
+    node: ast.Call
+    targets: Tuple[str, ...]  # resolved entry callables
+    #: (display label, inferred type) of every captured argument
+    arg_types: Tuple[Tuple[str, Optional[str]], ...]
+    lock_depth: int
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method plus its escape summary."""
+
+    qual: str
+    name: str
+    path: str
+    module: str
+    cls: Optional[str]  # owning class qualname
+    node: ast.AST
+    lineno: int
+    params: Tuple[str, ...] = ()
+    budget_params: Tuple[str, ...] = ()
+    decorators: Tuple[str, ...] = ()
+    param_types: Dict[str, Optional[str]] = field(default_factory=dict)
+    local_types: Dict[str, Optional[str]] = field(default_factory=dict)
+    nested: Dict[str, str] = field(default_factory=dict)
+    calls: List[CallSite] = field(default_factory=list)
+    mutations: List[MutationSite] = field(default_factory=list)
+    blocking: List[BlockSite] = field(default_factory=list)
+    spawns: List[SpawnSite] = field(default_factory=list)
+    global_decls: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ClassInfo:
+    """One class: bases, methods, and inferred attribute types."""
+
+    qual: str
+    name: str
+    path: str
+    module: str
+    node: ast.AST
+    lineno: int
+    bases: Tuple[str, ...] = ()         # raw dotted base names
+    resolved_bases: List[str] = field(default_factory=list)
+    external_bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    attr_types: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    @property
+    def has_lock_attr(self) -> bool:
+        return any(t == LOCK for t in self.attr_types.values())
+
+
+@dataclass
+class ModuleInfo:
+    """One scanned file as a namespace."""
+
+    modname: str
+    path: str
+    ctx: FileContext
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    global_names: Set[str] = field(default_factory=set)
+    global_types: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: module-level ``NAME = ProjectClass()`` singletons
+    instance_globals: Dict[str, str] = field(default_factory=dict)
+
+
+class Program:
+    """The resolved whole-program view the flow rules consume."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.contexts_by_path: Dict[str, FileContext] = {}
+
+    # -- symbol resolution ---------------------------------------------
+    def resolve(
+        self, dotted: str, _seen: Optional[Set[str]] = None
+    ) -> Optional[Tuple[str, object]]:
+        """Resolve a dotted name to ``("func"|"class"|"module", info)``.
+
+        Follows import aliases and package re-exports with a cycle
+        guard; anything pointing outside the scanned tree is ``None``.
+        """
+        seen = _seen if _seen is not None else set()
+        parts = dotted.split(".")
+        for i in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:i])
+            if prefix in self.modules:
+                entity: Optional[Tuple[str, object]] = (
+                    "module", self.modules[prefix],
+                )
+                for attr in parts[i:]:
+                    entity = self._attr_of(entity, attr, seen)
+                    if entity is None:
+                        return None
+                return entity
+        return None
+
+    def _attr_of(
+        self,
+        entity: Optional[Tuple[str, object]],
+        attr: str,
+        seen: Set[str],
+    ) -> Optional[Tuple[str, object]]:
+        if entity is None:
+            return None
+        kind, obj = entity
+        if kind == "module":
+            module = obj  # type: ModuleInfo  # noqa: E501  (py39: no isinstance narrow)
+            assert isinstance(module, ModuleInfo)
+            if attr in module.functions:
+                return ("func", module.functions[attr])
+            if attr in module.classes:
+                return ("class", module.classes[attr])
+            if attr in module.imports:
+                target = module.imports[attr]
+                if target in seen:
+                    return None
+                seen.add(target)
+                return self.resolve(target, seen)
+            sub = f"{module.modname}.{attr}"
+            if sub in self.modules:
+                return ("module", self.modules[sub])
+            return None
+        if kind == "class":
+            assert isinstance(obj, ClassInfo)
+            method = self.lookup_method(obj, attr)
+            if method is not None:
+                return ("func", method)
+        return None
+
+    def resolve_in_module(
+        self, module: ModuleInfo, dotted: str
+    ) -> Optional[Tuple[str, object]]:
+        """Resolve ``dotted`` as seen from inside ``module``."""
+        first, _, rest = dotted.partition(".")
+        base: Optional[str] = None
+        if first in module.functions or first in module.classes:
+            base = f"{module.modname}.{first}"
+        elif first in module.imports:
+            base = module.imports[first]
+        if base is None:
+            return None
+        return self.resolve(base + ("." + rest if rest else ""))
+
+    def canonical_dotted(
+        self, module: ModuleInfo, dotted: str
+    ) -> str:
+        """Translate the leading import alias, for the ctor-tag table."""
+        first, dot, rest = dotted.partition(".")
+        target = module.imports.get(first)
+        if target is None:
+            return dotted
+        return target + dot + rest
+
+    def lookup_method(
+        self, cls: ClassInfo, name: str, _seen: Optional[Set[str]] = None
+    ) -> Optional[FunctionInfo]:
+        seen = _seen if _seen is not None else set()
+        if cls.qual in seen:
+            return None
+        seen.add(cls.qual)
+        if name in cls.methods:
+            return cls.methods[name]
+        for base in cls.resolved_bases:
+            base_cls = self.classes.get(base)
+            if base_cls is not None:
+                found = self.lookup_method(base_cls, name, seen)
+                if found is not None:
+                    return found
+        return None
+
+    def class_of(self, fn: FunctionInfo) -> Optional[ClassInfo]:
+        return self.classes.get(fn.cls) if fn.cls else None
+
+    # -- class taxonomy -------------------------------------------------
+    def base_closure(self, qual: str) -> Tuple[Set[str], Set[str]]:
+        """All (project quals, external dotted names) above ``qual``."""
+        project: Set[str] = set()
+        external: Set[str] = set()
+        stack = [qual]
+        while stack:
+            cur = stack.pop()
+            cls = self.classes.get(cur)
+            if cls is None or cur in project:
+                continue
+            project.add(cur)
+            external.update(cls.external_bases)
+            stack.extend(cls.resolved_bases)
+        project.discard(qual)
+        return project, external
+
+    def is_threadlike(self, qual: str) -> bool:
+        _, external = self.base_closure(qual)
+        return any(
+            name.split(".")[-1] in ("Thread", "Timer", "Process")
+            for name in external
+        )
+
+    def is_handlerlike(self, qual: str) -> bool:
+        _, external = self.base_closure(qual)
+        return any(
+            name.split(".")[-1].endswith("RequestHandler")
+            for name in external
+        )
+
+    def subclasses_of(self, qual: str) -> List[str]:
+        out = []
+        for cls_qual in sorted(self.classes):
+            project, _ = self.base_closure(cls_qual)
+            if qual in project:
+                out.append(cls_qual)
+        return out
+
+    # -- graph queries ---------------------------------------------------
+    def incoming(self) -> Dict[str, List[CallSite]]:
+        edges: Dict[str, List[CallSite]] = {}
+        for qual in sorted(self.functions):
+            for site in self.functions[qual].calls:
+                if site.callee is not None:
+                    edges.setdefault(site.callee, []).append(site)
+        return edges
+
+    def reachable(self, roots: Sequence[str]) -> Set[str]:
+        """Transitive closure over *resolved* call edges."""
+        seen: Set[str] = set()
+        stack = [q for q in roots if q in self.functions]
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            for site in self.functions[qual].calls:
+                if (
+                    site.callee is not None
+                    and site.callee not in seen
+                    and site.callee in self.functions
+                ):
+                    stack.append(site.callee)
+        return seen
+
+    def holds_fork_unsafe(
+        self, type_ref: Optional[str], _seen: Optional[Set[str]] = None
+    ) -> Optional[str]:
+        """Does this type transitively hold a lock/socket/file/thread?
+
+        Returns a human-readable description of the held resource, or
+        ``None``.  Unknown attribute types never count (conservative).
+        """
+        if type_ref is None:
+            return None
+        if type_ref in FORK_UNSAFE_TAGS:
+            return type_ref.split(":", 1)[1]
+        cls = self.classes.get(type_ref)
+        if cls is None:
+            return None
+        seen = _seen if _seen is not None else set()
+        if cls.qual in seen:
+            return None
+        seen.add(cls.qual)
+        quals = [cls.qual]
+        quals.extend(sorted(self.base_closure(cls.qual)[0]))
+        for qual in quals:
+            owner = self.classes.get(qual)
+            if owner is None:
+                continue
+            for attr in sorted(owner.attr_types):
+                held = self.holds_fork_unsafe(
+                    owner.attr_types[attr], seen
+                )
+                if held is not None:
+                    return f"{cls.name}.{attr} ({held})"
+        return None
+
+    # -- serialization ----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        functions = []
+        edges = []
+        unresolved = 0
+        for qual in sorted(self.functions):
+            fn = self.functions[qual]
+            functions.append(
+                {
+                    "qual": qual,
+                    "path": fn.path,
+                    "line": fn.lineno,
+                    "params": list(fn.params),
+                    "budget_params": list(fn.budget_params),
+                }
+            )
+            for site in fn.calls:
+                if site.callee is None:
+                    unresolved += 1
+                edges.append(
+                    {
+                        "caller": qual,
+                        "callee": site.callee,
+                        "label": site.label,
+                        "line": site.node.lineno,
+                        "lock_depth": site.lock_depth,
+                    }
+                )
+        edges.sort(
+            key=lambda e: (
+                e["caller"], e["line"], e["label"], str(e["callee"]),
+            )
+        )
+        classes = []
+        for qual in sorted(self.classes):
+            cls = self.classes[qual]
+            classes.append(
+                {
+                    "qual": qual,
+                    "path": cls.path,
+                    "line": cls.lineno,
+                    "bases": sorted(cls.resolved_bases)
+                    + sorted(cls.external_bases),
+                    "lock_owner": cls.has_lock_attr,
+                    "attrs": {
+                        name: cls.attr_types[name]
+                        for name in sorted(cls.attr_types)
+                    },
+                }
+            )
+        return {
+            "modules": sorted(self.modules),
+            "functions": functions,
+            "classes": classes,
+            "edges": edges,
+            "unresolved_calls": unresolved,
+        }
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+def build_program(contexts: Sequence[FileContext]) -> Program:
+    """Three passes: declare, link types, summarize bodies."""
+    program = Program()
+    for ctx in contexts:
+        _declare_module(program, ctx)
+    for module in program.modules.values():
+        _link_module(program, module)
+    for module in program.modules.values():
+        _summarize_module(program, module)
+    return program
+
+
+def _declare_module(program: Program, ctx: FileContext) -> None:
+    modname = _module_name(ctx.path)
+    if modname in program.modules:
+        return  # duplicate path (overlapping roots): first wins
+    module = ModuleInfo(modname=modname, path=ctx.path, ctx=ctx)
+    program.modules[modname] = module
+    program.contexts_by_path.setdefault(ctx.path, ctx)
+    is_pkg = ctx.path.endswith("/__init__.py")
+
+    for node in ctx.tree.body:
+        _declare_statement(program, module, node, is_pkg)
+
+
+def _declare_statement(
+    program: Program,
+    module: ModuleInfo,
+    node: ast.stmt,
+    is_pkg: bool,
+) -> None:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.asname:
+                module.imports[alias.asname] = alias.name
+            else:
+                head = alias.name.partition(".")[0]
+                module.imports[head] = head
+    elif isinstance(node, ast.ImportFrom):
+        base = _import_base(module.modname, node, is_pkg)
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            target = f"{base}.{alias.name}" if base else alias.name
+            module.imports[alias.asname or alias.name] = target
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        fn = _declare_function(
+            program, module, node, cls=None, prefix=module.modname
+        )
+        module.functions[node.name] = fn
+    elif isinstance(node, ast.ClassDef):
+        _declare_class(program, module, node)
+    elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+        targets = (
+            node.targets
+            if isinstance(node, ast.Assign)
+            else [node.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Name):
+                module.global_names.add(target.id)
+    elif isinstance(node, (ast.If, ast.Try)):
+        # conditional defs (TYPE_CHECKING imports, try/except imports)
+        bodies = [node.body]
+        if isinstance(node, ast.If):
+            bodies.append(node.orelse)
+        else:
+            bodies.append(node.orelse)
+            bodies.append(node.finalbody)
+            for handler in node.handlers:
+                bodies.append(handler.body)
+        for body in bodies:
+            for child in body:
+                _declare_statement(program, module, child, is_pkg)
+
+
+def _import_base(
+    modname: str, node: ast.ImportFrom, is_pkg: bool
+) -> str:
+    if not node.level:
+        return node.module or ""
+    parts = modname.split(".")
+    if not is_pkg:
+        parts = parts[:-1]
+    cut = len(parts) - (node.level - 1)
+    parts = parts[: max(cut, 0)]
+    base = ".".join(parts)
+    if node.module:
+        base = f"{base}.{node.module}" if base else node.module
+    return base
+
+
+def _declare_function(
+    program: Program,
+    module: ModuleInfo,
+    node: "ast.FunctionDef | ast.AsyncFunctionDef",
+    cls: Optional[str],
+    prefix: str,
+) -> FunctionInfo:
+    qual = f"{prefix}.{node.name}"
+    args = node.args
+    params = tuple(
+        a.arg
+        for a in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+    )
+    fn = FunctionInfo(
+        qual=qual,
+        name=node.name,
+        path=module.path,
+        module=module.modname,
+        cls=cls,
+        node=node,
+        lineno=node.lineno,
+        params=params,
+        budget_params=tuple(p for p in params if p in BUDGET_NAMES),
+        decorators=tuple(
+            d for d in (_dotted_name(dec) for dec in node.decorator_list)
+            if d is not None
+        ),
+    )
+    program.functions[qual] = fn
+    for child in ast.walk(node):
+        if isinstance(child, ast.Global):
+            fn.global_decls.update(child.names)
+    # nested defs become their own functions, addressable by bare name
+    # from the enclosing body
+    for child in node.body:
+        _declare_nested(program, module, child, fn)
+    return fn
+
+
+def _declare_nested(
+    program: Program,
+    module: ModuleInfo,
+    stmt: ast.stmt,
+    owner: FunctionInfo,
+) -> None:
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        nested = _declare_function(
+            program, module, stmt, cls=owner.cls, prefix=owner.qual
+        )
+        owner.nested[stmt.name] = nested.qual
+        return
+    for body in _sub_bodies(stmt):
+        for child in body:
+            _declare_nested(program, module, child, owner)
+
+
+def _sub_bodies(stmt: ast.stmt) -> List[List[ast.stmt]]:
+    bodies: List[List[ast.stmt]] = []
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, name, None)
+        if isinstance(block, list):
+            bodies.append(block)
+    for handler in getattr(stmt, "handlers", []) or []:
+        bodies.append(handler.body)
+    return bodies
+
+
+def _declare_class(
+    program: Program, module: ModuleInfo, node: ast.ClassDef
+) -> None:
+    qual = f"{module.modname}.{node.name}"
+    cls = ClassInfo(
+        qual=qual,
+        name=node.name,
+        path=module.path,
+        module=module.modname,
+        node=node,
+        lineno=node.lineno,
+        bases=tuple(
+            b for b in (_dotted_name(base) for base in node.bases)
+            if b is not None
+        ),
+    )
+    program.classes[qual] = cls
+    module.classes[node.name] = cls
+    module.global_names.add(node.name)
+    for child in node.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = _declare_function(
+                program, module, child, cls=qual, prefix=qual
+            )
+            cls.methods[child.name] = fn
+        elif isinstance(child, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                child.targets
+                if isinstance(child, ast.Assign)
+                else [child.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    cls.attr_types.setdefault(target.id, None)
+
+
+# ----------------------------------------------------------------------
+# pass 2: link bases, annotations, attribute and global types
+# ----------------------------------------------------------------------
+def _link_module(program: Program, module: ModuleInfo) -> None:
+    for cls in module.classes.values():
+        for base in cls.bases:
+            resolved = program.resolve_in_module(module, base)
+            if resolved is not None and resolved[0] == "class":
+                assert isinstance(resolved[1], ClassInfo)
+                cls.resolved_bases.append(resolved[1].qual)
+            else:
+                cls.external_bases.append(
+                    program.canonical_dotted(module, base)
+                )
+    for fn in list(module.functions.values()):
+        _link_signature(program, module, fn)
+    for cls in module.classes.values():
+        for fn in cls.methods.values():
+            _link_signature(program, module, fn)
+        _infer_attr_types(program, module, cls)
+    _infer_global_types(program, module)
+
+
+def _link_signature(
+    program: Program, module: ModuleInfo, fn: FunctionInfo
+) -> None:
+    args = fn.node.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        fn.param_types[arg.arg] = _annotation_type(
+            program, module, arg.annotation
+        )
+    for name in fn.nested.values():
+        nested = program.functions.get(name)
+        if nested is not None:
+            _link_signature(program, module, nested)
+
+
+def _annotation_type(
+    program: Program, module: ModuleInfo, node: Optional[ast.AST]
+) -> Optional[str]:
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip().strip("'\"")
+        resolved = program.resolve_in_module(module, text)
+        if resolved is not None and resolved[0] == "class":
+            assert isinstance(resolved[1], ClassInfo)
+            return resolved[1].qual
+        return None
+    if isinstance(node, ast.Subscript):
+        head = _dotted_name(node.value)
+        if head and head.split(".")[-1] == "Optional":
+            return _annotation_type(program, module, node.slice)
+        return None
+    dotted = _dotted_name(node)
+    if dotted is None:
+        return None
+    resolved = program.resolve_in_module(module, dotted)
+    if resolved is not None and resolved[0] == "class":
+        assert isinstance(resolved[1], ClassInfo)
+        return resolved[1].qual
+    # builtin annotations (threading.Thread, queue.Queue, ...) tag the
+    # parameter the same way the constructor table would
+    return _CTOR_TAGS.get(program.canonical_dotted(module, dotted))
+
+
+def _shallow_type(
+    program: Program,
+    module: ModuleInfo,
+    expr: Optional[ast.AST],
+    env: Optional[Dict[str, Optional[str]]] = None,
+    self_cls: Optional[ClassInfo] = None,
+) -> Optional[str]:
+    """Type of an expression from literals, constructors, annotated
+    names and ``self`` attributes; ``None`` when not provable."""
+    if expr is None:
+        return None
+    if isinstance(expr, _MUTABLE_LITERALS):
+        return MUTABLE
+    if isinstance(expr, ast.IfExp):
+        a = _shallow_type(program, module, expr.body, env, self_cls)
+        b = _shallow_type(program, module, expr.orelse, env, self_cls)
+        return a if a == b else None
+    if isinstance(expr, ast.Name):
+        if env is not None and expr.id in env:
+            return env[expr.id]
+        return module.global_types.get(expr.id)
+    if isinstance(expr, ast.Attribute):
+        if (
+            isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and self_cls is not None
+        ):
+            found = _lookup_attr_type(program, self_cls, expr.attr)
+            if found is not None:
+                return found
+        return None
+    if isinstance(expr, ast.Call):
+        dotted = _dotted_name(expr.func)
+        if dotted is None:
+            return None
+        resolved = program.resolve_in_module(module, dotted)
+        if resolved is not None and resolved[0] == "class":
+            assert isinstance(resolved[1], ClassInfo)
+            return resolved[1].qual
+        return _CTOR_TAGS.get(program.canonical_dotted(module, dotted))
+    return None
+
+
+def _lookup_attr_type(
+    program: Program, cls: ClassInfo, attr: str
+) -> Optional[str]:
+    found = cls.attr_types.get(attr)
+    if found is not None:
+        return found
+    for base in cls.resolved_bases:
+        base_cls = program.classes.get(base)
+        if base_cls is not None:
+            found = _lookup_attr_type(program, base_cls, attr)
+            if found is not None:
+                return found
+    return None
+
+
+def _infer_attr_types(
+    program: Program, module: ModuleInfo, cls: ClassInfo
+) -> None:
+    # __init__ wins; other methods only fill gaps, and a conflicting
+    # second opinion downgrades the attribute to unknown
+    ordered = sorted(
+        cls.methods.values(),
+        key=lambda m: (m.name not in _INIT_METHODS, m.lineno),
+    )
+    decided: Dict[str, Optional[str]] = dict(cls.attr_types)
+    for method in ordered:
+        env = dict(method.param_types)
+        for stmt in ast.walk(method.node):
+            value: Optional[ast.AST]
+            targets: List[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                targets, value = list(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                inferred = _shallow_type(program, module, value, env)
+                if inferred is None and isinstance(stmt, ast.AnnAssign):
+                    inferred = _annotation_type(
+                        program, module, stmt.annotation
+                    )
+                previous = decided.get(target.attr)
+                if target.attr not in decided or previous is None:
+                    decided[target.attr] = inferred
+                elif inferred is not None and inferred != previous:
+                    decided[target.attr] = None  # conflicting evidence
+    cls.attr_types = decided
+    # class-level Assign values refine attrs still unknown
+    for stmt in cls.node.body:
+        if isinstance(stmt, ast.Assign):
+            inferred = _shallow_type(program, module, stmt.value)
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and decided.get(target.id) is None
+                    and inferred is not None
+                ):
+                    decided[target.id] = inferred
+
+
+def _infer_global_types(program: Program, module: ModuleInfo) -> None:
+    for stmt in module.ctx.tree.body:
+        value: Optional[ast.AST]
+        if isinstance(stmt, ast.Assign):
+            targets, value = list(stmt.targets), stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        inferred = _shallow_type(program, module, value)
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id not in module.global_types:
+                module.global_types[target.id] = inferred
+            if (
+                inferred is not None
+                and inferred in program.classes
+                and target.id not in module.instance_globals
+            ):
+                module.instance_globals[target.id] = inferred
+
+
+# ----------------------------------------------------------------------
+# pass 3: per-function body summaries (calls, mutations, locks)
+# ----------------------------------------------------------------------
+def _summarize_module(program: Program, module: ModuleInfo) -> None:
+    for fn in module.functions.values():
+        _summarize_function(program, module, fn)
+    for cls in module.classes.values():
+        for fn in cls.methods.values():
+            _summarize_function(program, module, fn)
+
+
+def _summarize_function(
+    program: Program, module: ModuleInfo, fn: FunctionInfo
+) -> None:
+    for nested_qual in fn.nested.values():
+        nested = program.functions.get(nested_qual)
+        if nested is not None:
+            _summarize_function(program, module, nested)
+    _collect_local_types(program, module, fn)
+    walker = _BodyWalker(program, module, fn)
+    for stmt in fn.node.body:
+        walker.visit_stmt(stmt)
+
+
+def _collect_local_types(
+    program: Program, module: ModuleInfo, fn: FunctionInfo
+) -> None:
+    env: Dict[str, Optional[str]] = dict(fn.param_types)
+    self_cls = program.class_of(fn)
+
+    def scan(stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                value = stmt.value
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                inferred = _shallow_type(
+                    program, module, value, env, self_cls
+                )
+                if inferred is None and isinstance(stmt, ast.AnnAssign):
+                    inferred = _annotation_type(
+                        program, module, stmt.annotation
+                    )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        env[target.id] = inferred
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        env[item.optional_vars.id] = _shallow_type(
+                            program, module, item.context_expr,
+                            env, self_cls,
+                        )
+            for body in _sub_bodies(stmt):
+                scan(body)
+
+    scan(fn.node.body)
+    fn.local_types = env
+
+
+class _BodyWalker:
+    """Source-order walk with a ``with``-statement lock stack."""
+
+    def __init__(
+        self, program: Program, module: ModuleInfo, fn: FunctionInfo
+    ) -> None:
+        self.program = program
+        self.module = module
+        self.fn = fn
+        self.self_cls = program.class_of(fn)
+        self.lock_depth = 0
+
+    # -- typing helpers -------------------------------------------------
+    def type_of(self, expr: Optional[ast.AST]) -> Optional[str]:
+        return _shallow_type(
+            self.program, self.module, expr,
+            self.fn.local_types, self.self_cls,
+        )
+
+    def is_lock_expr(self, expr: ast.AST) -> bool:
+        if self.type_of(expr) == LOCK:
+            return True
+        dotted = _dotted_name(expr)
+        return bool(dotted) and "lock" in dotted.split(".")[-1].lower()
+
+    # -- statements -----------------------------------------------------
+    def visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs are summarized separately
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            locks = 0
+            for item in stmt.items:
+                self.visit_expr(item.context_expr)
+                if self.is_lock_expr(item.context_expr):
+                    locks += 1
+            self.lock_depth += locks
+            for child in stmt.body:
+                self.visit_stmt(child)
+            self.lock_depth -= locks
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._visit_assignment(stmt)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._record_mutation(target, "del")
+            return
+        for value in ast.iter_child_nodes(stmt):
+            if isinstance(value, ast.stmt):
+                self.visit_stmt(value)
+            elif isinstance(value, ast.expr):
+                self.visit_expr(value)
+            elif isinstance(value, ast.excepthandler):
+                for child in value.body:
+                    self.visit_stmt(child)
+            elif isinstance(value, (ast.withitem, ast.keyword)):
+                self.visit_expr(getattr(value, "value", value))
+
+    def _visit_assignment(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.AugAssign):
+            targets: List[ast.expr] = [stmt.target]
+            op = "aug"
+            value: Optional[ast.AST] = stmt.value
+        else:
+            targets = (
+                list(stmt.targets)
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            op = "store"
+            value = stmt.value
+        if value is not None:
+            self.visit_expr(value)
+        for target in targets:
+            self._record_mutation(target, op)
+
+    def _record_mutation(self, target: ast.expr, op: str) -> None:
+        fn = self.fn
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_mutation(elt, op)
+            return
+        if isinstance(target, ast.Name):
+            # a plain rebind of a declared global is atomic under the
+            # GIL and deliberately not reported; in-place update is
+            if target.id in fn.global_decls and op in ("aug", "del"):
+                fn.mutations.append(
+                    MutationSite(
+                        "global", target.id, target,
+                        self.lock_depth, op,
+                    )
+                )
+            return
+        if isinstance(target, ast.Subscript):
+            self.visit_expr(target.slice)
+            base = target.value
+            if isinstance(base, ast.Name):
+                if (
+                    base.id not in fn.local_types
+                    and base.id not in fn.params
+                    and base.id in self.module.global_names
+                ) or base.id in fn.global_decls:
+                    fn.mutations.append(
+                        MutationSite(
+                            "global", base.id, target,
+                            self.lock_depth, "subscript",
+                        )
+                    )
+            elif (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+            ):
+                fn.mutations.append(
+                    MutationSite(
+                        "self", base.attr, target,
+                        self.lock_depth, "subscript",
+                    )
+                )
+            return
+        if isinstance(target, ast.Attribute):
+            base = target.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                fn.mutations.append(
+                    MutationSite(
+                        "self", target.attr, target,
+                        self.lock_depth,
+                        "store" if op != "aug" else "aug",
+                    )
+                )
+            elif (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+            ):
+                # a store through self.x.y mutates whatever x holds
+                fn.mutations.append(
+                    MutationSite(
+                        "self", base.attr, target,
+                        self.lock_depth, "deep",
+                    )
+                )
+
+    # -- expressions ----------------------------------------------------
+    def visit_expr(self, expr: Optional[ast.AST]) -> None:
+        if expr is None:
+            return
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._visit_call(node)
+
+    def _visit_call(self, call: ast.Call) -> None:
+        fn = self.fn
+        label = _dotted_name(call.func) or "<dynamic>"
+        callee, is_ctor = self._resolve_call(call)
+        passes_budget = (
+            any(
+                isinstance(a, ast.Name) and a.id in BUDGET_NAMES
+                for a in call.args
+            )
+            or any(
+                kw.arg in BUDGET_NAMES or kw.arg is None
+                for kw in call.keywords
+            )
+        )
+        site = CallSite(
+            caller=fn.qual,
+            callee=callee,
+            label=label,
+            node=call,
+            lock_depth=self.lock_depth,
+            is_ctor=is_ctor,
+            passes_budget=passes_budget,
+        )
+        fn.calls.append(site)
+        self._check_partial(call)
+        self._check_blocking(call)
+        self._check_spawn(call, callee, is_ctor)
+
+    def _resolve_call(
+        self, call: ast.Call
+    ) -> Tuple[Optional[str], bool]:
+        func = call.func
+        program, module = self.program, self.module
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.fn.nested:
+                return self.fn.nested[name], False
+            resolved = program.resolve_in_module(module, name)
+            return self._entity_target(resolved)
+        if not isinstance(func, ast.Attribute):
+            return None, False
+        base, attr = func.value, func.attr
+        # self.m() / cls.m() / super().m()
+        if (
+            isinstance(base, ast.Name)
+            and base.id in ("self", "cls")
+            and self.self_cls is not None
+        ):
+            method = program.lookup_method(self.self_cls, attr)
+            return (method.qual if method else None), False
+        if (
+            isinstance(base, ast.Call)
+            and _dotted_name(base.func) == "super"
+            and self.self_cls is not None
+        ):
+            for base_qual in self.self_cls.resolved_bases:
+                base_cls = program.classes.get(base_qual)
+                if base_cls is not None:
+                    method = program.lookup_method(base_cls, attr)
+                    if method is not None:
+                        return method.qual, False
+            return None, False
+        # receiver with a provable project-class type
+        receiver_type = self.type_of(base)
+        if receiver_type is not None and receiver_type in program.classes:
+            cls = program.classes[receiver_type]
+            method = program.lookup_method(cls, attr)
+            return (method.qual if method else None), False
+        # module.f() / module.Class.m() via the import table
+        dotted = _dotted_name(func)
+        if dotted is not None:
+            resolved = program.resolve_in_module(module, dotted)
+            return self._entity_target(resolved)
+        return None, False
+
+    def _entity_target(
+        self, resolved: Optional[Tuple[str, object]]
+    ) -> Tuple[Optional[str], bool]:
+        if resolved is None:
+            return None, False
+        kind, obj = resolved
+        if kind == "func":
+            assert isinstance(obj, FunctionInfo)
+            return obj.qual, False
+        if kind == "class":
+            assert isinstance(obj, ClassInfo)
+            init = self.program.lookup_method(obj, "__init__")
+            return (init.qual if init else f"{obj.qual}.__init__"), True
+        return None, False
+
+    def _check_partial(self, call: ast.Call) -> None:
+        dotted = _dotted_name(call.func)
+        if dotted is None or dotted.split(".")[-1] != "partial":
+            return
+        if not call.args:
+            return
+        target, _ = self._resolve_value(call.args[0])
+        if target is not None:
+            self.fn.calls.append(
+                CallSite(
+                    caller=self.fn.qual,
+                    callee=target,
+                    label=_dotted_name(call.args[0]) or "<partial>",
+                    node=call,
+                    lock_depth=self.lock_depth,
+                    partial=True,
+                )
+            )
+
+    def _resolve_value(
+        self, expr: ast.AST
+    ) -> Tuple[Optional[str], bool]:
+        """Resolve an expression *used as a callable value*."""
+        if isinstance(expr, ast.Name) and expr.id in self.fn.nested:
+            return self.fn.nested[expr.id], False
+        dotted = _dotted_name(expr)
+        if dotted is None:
+            return None, False
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id in ("self", "cls")
+            and self.self_cls is not None
+        ):
+            method = self.program.lookup_method(self.self_cls, expr.attr)
+            return (method.qual if method else None), False
+        if isinstance(expr, ast.Attribute):
+            # a bound method on a receiver with a provable class type
+            # (Thread(target=obj.method) and friends)
+            receiver = self.type_of(expr.value)
+            if receiver is not None and receiver in self.program.classes:
+                method = self.program.lookup_method(
+                    self.program.classes[receiver], expr.attr
+                )
+                return (method.qual if method else None), False
+        resolved = self.program.resolve_in_module(self.module, dotted)
+        return self._entity_target(resolved)
+
+    # -- blocking-call detection ----------------------------------------
+    def _check_blocking(self, call: ast.Call) -> None:
+        kwargs = {kw.arg for kw in call.keywords if kw.arg}
+        if "timeout" in kwargs:
+            return
+        for kw in call.keywords:
+            if (
+                kw.arg == "block"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+            ):
+                return
+        func = call.func
+        what: Optional[str] = None
+        if isinstance(func, ast.Attribute):
+            receiver = self.type_of(func.value)
+            threadlike = receiver == THREAD or (
+                receiver is not None
+                and receiver in self.program.classes
+                and self.program.is_threadlike(receiver)
+            )
+            attr = func.attr
+            if attr == "join" and (threadlike or receiver == EXECUTOR):
+                what = ".join() without a timeout"
+            elif attr in ("get", "put") and receiver == QUEUE:
+                what = f"unbounded queue.{attr}()"
+            elif attr == "wait" and receiver in (EVENT, LOCK):
+                what = ".wait() without a timeout"
+            elif attr in ("accept", "recv", "recvfrom") and (
+                receiver == SOCKET
+            ):
+                what = f"socket .{attr}() without a timeout"
+        dotted = _dotted_name(func)
+        if dotted is not None and what is None:
+            canonical = self.program.canonical_dotted(self.module, dotted)
+            if canonical in (
+                "socket.create_connection",
+                "urllib.request.urlopen",
+            ) or canonical.split(".")[-1] == "urlopen":
+                what = f"{canonical}() without a timeout"
+        if what is not None:
+            self.fn.blocking.append(
+                BlockSite(what, call, self.lock_depth)
+            )
+
+    # -- thread / pool spawn detection ----------------------------------
+    def _check_spawn(
+        self, call: ast.Call, callee: Optional[str], is_ctor: bool
+    ) -> None:
+        fn = self.fn
+        func = call.func
+        # thread entry via Thread(target=...)
+        if self.type_of(call) == THREAD:
+            targets = []
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    qual, _ = self._resolve_value(kw.value)
+                    if qual is not None:
+                        targets.append(qual)
+            fn.spawns.append(
+                SpawnSite(
+                    "thread", call, tuple(targets), (), self.lock_depth
+                )
+            )
+            return
+        # executor.submit(fn, *args)
+        if isinstance(func, ast.Attribute) and func.attr == "submit":
+            targets = []
+            captured: List[Tuple[str, Optional[str]]] = []
+            if call.args:
+                qual, _ = self._resolve_value(call.args[0])
+                if qual is not None:
+                    targets.append(qual)
+                for arg in call.args[1:]:
+                    captured.append(self._captured(arg))
+            for kw in call.keywords:
+                if kw.arg is not None:
+                    captured.append(self._captured(kw.value, kw.arg))
+            fn.spawns.append(
+                SpawnSite(
+                    "submit", call, tuple(targets),
+                    tuple(captured), self.lock_depth,
+                )
+            )
+            return
+        # Unit(key=..., fn=..., args=..., kwargs=...) constructions
+        if is_ctor and callee is not None and (
+            callee.rsplit(".", 2)[-2:-1] == ["Unit"]
+            or callee.split(".")[-2:] == ["Unit", "__init__"]
+        ):
+            targets = []
+            captured = []
+            positional = list(call.args)
+            if len(positional) >= 2:
+                qual, _ = self._resolve_value(positional[1])
+                if qual is not None:
+                    targets.append(qual)
+            for i, arg in enumerate(positional[2:], start=2):
+                captured.append(self._captured(arg))
+            for kw in call.keywords:
+                if kw.arg == "fn":
+                    qual, _ = self._resolve_value(kw.value)
+                    if qual is not None:
+                        targets.append(qual)
+                elif kw.arg in ("args", "kwargs"):
+                    captured.extend(self._captured_container(kw.value))
+                elif kw.arg is not None and kw.arg != "key":
+                    captured.append(self._captured(kw.value, kw.arg))
+            fn.spawns.append(
+                SpawnSite(
+                    "unit", call, tuple(targets),
+                    tuple(captured), self.lock_depth,
+                )
+            )
+
+    def _captured(
+        self, expr: ast.AST, label: Optional[str] = None
+    ) -> Tuple[str, Optional[str]]:
+        display = label or _dotted_name(expr) or "<expr>"
+        return display, self.type_of(expr)
+
+    def _captured_container(
+        self, expr: ast.AST
+    ) -> List[Tuple[str, Optional[str]]]:
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return [self._captured(e) for e in expr.elts]
+        if isinstance(expr, ast.Dict):
+            return [self._captured(v) for v in expr.values]
+        return [self._captured(expr)]

@@ -8,13 +8,22 @@ unreadable baseline).
 from __future__ import annotations
 
 import argparse
+import ast
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .baseline import Baseline, split_by_baseline
-from .engine import analyze
-from .report import LintResult, render_json, render_text
+from .engine import (
+    FileContext,
+    Rule,
+    ScanResult,
+    analyze,
+    iter_python_files,
+    scan_file,
+)
+from .report import LintResult, render_github, render_json, render_text
 from .rules import DEFAULT_RULES, RULE_CLASSES
 
 __all__ = ["add_lint_arguments", "main", "run_lint"]
@@ -66,6 +75,44 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--no-flow",
+        action="store_true",
+        help="skip the whole-program flow rules (RPA010-RPA014); "
+        "per-file rules only",
+    )
+    parser.add_argument(
+        "--graph",
+        choices=("json", "text"),
+        default=None,
+        metavar="FORMAT",
+        help="dump the whole-program call graph (json or text) "
+        "instead of linting",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the per-file scan out over N worker processes "
+        "(0 = all cores); findings are byte-identical to serial",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        dest="format",
+        help="report format (github emits ::error workflow commands "
+        "for inline PR annotations)",
+    )
+    parser.add_argument(
+        "--github-prefix",
+        default=None,
+        metavar="DIR/",
+        help="path prefix mapping finding paths onto repo-relative "
+        "ones for --format github (default: derived from the scan "
+        "root, e.g. src/)",
+    )
 
 
 def _resolve_baseline_path(arg: Optional[str]) -> Optional[Path]:
@@ -83,6 +130,102 @@ def _list_rules() -> str:
         lines.append(f"    scope: {', '.join(entry['scope'])}")
         lines.append(f"    {entry['rationale']}")
     return "\n".join(lines)
+
+
+def _scan_unit(path_str: str, rel: str) -> ScanResult:
+    """Worker-side per-file scan for ``picola lint --jobs N``.
+
+    Rebuilds the per-file rules in the worker (rule instances do not
+    cross the fork) and strips the parse tree before pickling the
+    result back; the parent re-parses lazily for the project-rule
+    phase.  Flow rules are ProjectRules, so leaving them out here
+    changes nothing — their per-file ``check`` yields no findings.
+    """
+    rules = DEFAULT_RULES(flow=False)
+    return scan_file(Path(path_str), rel, rules).strip_tree()
+
+
+def _parallel_scanner(jobs: int):
+    """An ``analyze`` scanner running per-file scans on the pool.
+
+    Results come back in submission order (the engine contract), so
+    findings are byte-identical to the serial walk; a failed worker
+    degrades that one file to an inline scan.
+    """
+    # imported lazily: the analysis engine itself must stay importable
+    # without the harness (and lintable on broken trees)
+    from ..harness.parallel import Unit, run_units
+
+    def scanner(
+        files: Sequence[Tuple[Path, str]], rules: Sequence[Rule]
+    ) -> List[ScanResult]:
+        units = [
+            Unit(key=f"lint/{rel}", fn=_scan_unit, args=(str(fp), rel))
+            for fp, rel in files
+        ]
+        results: List[ScanResult] = []
+        for (fp, rel), outcome in zip(
+            files, run_units(units, jobs=jobs)
+        ):
+            if outcome.ok and isinstance(outcome.value, ScanResult):
+                results.append(outcome.value)
+            else:
+                results.append(scan_file(fp, rel, rules))
+        return results
+
+    return scanner
+
+
+def _load_contexts(roots: Sequence[Path]) -> List[FileContext]:
+    """Parse every file under ``roots`` for a ``--graph`` dump."""
+    from .engine import _relative_path
+
+    contexts: List[FileContext] = []
+    for root in roots:
+        for fp in iter_python_files(root):
+            rel = _relative_path(fp, root)
+            try:
+                source = fp.read_text()
+                tree = ast.parse(source, filename=str(fp))
+            except (OSError, SyntaxError):
+                continue  # lint reports these; the graph just skips
+            contexts.append(FileContext(rel, source, tree))
+    return contexts
+
+
+def _dump_graph(roots: Sequence[Path], fmt: str) -> int:
+    from .callgraph import build_program
+
+    program = build_program(_load_contexts(roots))
+    if fmt == "json":
+        print(json.dumps(program.to_dict(), indent=2, sort_keys=True))
+        return 0
+    doc = program.to_dict()
+    print(
+        f"{len(doc['modules'])} modules, "
+        f"{len(doc['functions'])} functions, "
+        f"{len(doc['classes'])} classes, "
+        f"{len(doc['edges'])} call edges "
+        f"({doc['unresolved_calls']} unresolved)"
+    )
+    for edge in doc["edges"]:
+        callee = edge["callee"] or f"?{edge['label']}"
+        held = " [lock held]" if edge["lock_depth"] else ""
+        print(f"{edge['caller']}:{edge['line']} -> {callee}{held}")
+    return 0
+
+
+def _github_prefix(arg: Optional[str], roots: Sequence[Path]) -> str:
+    """Repo-relative prefix for annotation paths (e.g. ``src/``)."""
+    if arg is not None:
+        return arg
+    root = roots[0]
+    base = (root if root.is_dir() else root.parent).parent
+    try:
+        rel = base.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        return ""
+    return "" if rel.as_posix() == "." else rel.as_posix() + "/"
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -104,6 +247,9 @@ def run_lint(args: argparse.Namespace) -> int:
     else:
         roots = [_package_root()]
 
+    if getattr(args, "graph", None):
+        return _dump_graph(roots, args.graph)
+
     baseline_path = _resolve_baseline_path(args.baseline)
     baseline: Optional[Baseline] = None
     if baseline_path is not None and baseline_path.exists():
@@ -113,10 +259,13 @@ def run_lint(args: argparse.Namespace) -> int:
             print(f"picola lint: {exc}", file=sys.stderr)
             return 2
 
-    rules = DEFAULT_RULES()
+    rules = DEFAULT_RULES(flow=not getattr(args, "no_flow", False))
+    scanner = None
+    if getattr(args, "jobs", 1) != 1:
+        scanner = _parallel_scanner(args.jobs)
     report = None
     for root in roots:
-        part = analyze(root, rules)
+        part = analyze(root, rules, scanner=scanner)
         if report is None:
             report = part
         else:
@@ -159,7 +308,16 @@ def run_lint(args: argparse.Namespace) -> int:
             str(baseline_path) if baseline is not None else None
         ),
     )
-    print(render_json(result) if args.as_json else render_text(result))
+    fmt = "json" if args.as_json else getattr(args, "format", "text")
+    if fmt == "json":
+        print(render_json(result))
+    elif fmt == "github":
+        prefix = _github_prefix(
+            getattr(args, "github_prefix", None), roots
+        )
+        print(render_github(result, prefix))
+    else:
+        print(render_text(result))
     return result.exit_code
 
 
@@ -168,8 +326,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.analysis",
         description=(
             "Project-aware static analysis: budget threading, span "
-            "hygiene, the error taxonomy, determinism and registry "
-            "conformance (rules RPA001-RPA007)"
+            "hygiene, the error taxonomy, determinism, registry "
+            "conformance and the whole-program concurrency/fork-"
+            "safety flow rules (rules RPA001-RPA014)"
         ),
     )
     add_lint_arguments(parser)

@@ -29,7 +29,17 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 __all__ = [
     "AnalysisReport",
@@ -37,9 +47,11 @@ __all__ = [
     "Finding",
     "ProjectRule",
     "Rule",
+    "ScanResult",
     "Suppression",
     "analyze",
     "iter_python_files",
+    "scan_file",
 ]
 
 #: rule ID reserved for files the engine itself cannot process
@@ -69,6 +81,13 @@ class Finding:
         digest = hashlib.sha1(
             f"{self.rule}:{self.path}:{self.snippet}".encode()
         )
+        return digest.hexdigest()[:16]
+
+    @property
+    def content_fingerprint(self) -> str:
+        """Path-free hash: pairs a moved file's findings with the
+        baseline entries that excused them at the old path."""
+        digest = hashlib.sha1(f"{self.rule}:{self.snippet}".encode())
         return digest.hexdigest()[:16]
 
     def location(self) -> str:
@@ -205,6 +224,83 @@ class AnalysisReport:
         return [f for f in self.findings if f.rule == rule_id]
 
 
+@dataclass
+class ScanResult:
+    """The per-file half of one engine run.
+
+    Produced by :func:`scan_file` — either inline or in a worker
+    process (everything here pickles; the parsed ``tree`` is dropped
+    before crossing a process boundary and re-parsed lazily by
+    :meth:`context`).  ``analyze`` merges these in file order, so a
+    parallel scanner that preserves submission order is byte-identical
+    to the serial walk.
+    """
+
+    rel: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    source: Optional[str] = None
+    checked: bool = False
+    tree: Optional[ast.AST] = None
+
+    def context(self) -> Optional[FileContext]:
+        """The file's context for the project-rule phase, if parsable."""
+        if self.source is None or not self.checked:
+            return None
+        if self.tree is None:
+            try:
+                self.tree = ast.parse(self.source, filename=self.rel)
+            except SyntaxError:  # already reported as RPA000
+                return None
+        return FileContext(self.rel, self.source, self.tree)
+
+    def strip_tree(self) -> "ScanResult":
+        """Drop the parse tree (cheap to rebuild, costly to pickle)."""
+        self.tree = None
+        return self
+
+
+def scan_file(
+    file_path: Path, rel: str, rules: Sequence[Rule]
+) -> ScanResult:
+    """Read, parse and run the per-file rules over one file.
+
+    ``ProjectRule`` instances are harmless to include (their per-file
+    ``check`` yields nothing); the cross-file phase belongs to
+    :func:`analyze`.
+    """
+    result = ScanResult(rel=rel)
+    try:
+        source = file_path.read_text()
+    except OSError as exc:
+        result.findings.append(
+            Finding(SYNTAX_RULE_ID, rel, 1, 1, f"unreadable: {exc}")
+        )
+        return result
+    result.source = source
+    result.checked = True
+    try:
+        tree = ast.parse(source, filename=str(file_path))
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                SYNTAX_RULE_ID,
+                rel,
+                exc.lineno or 1,
+                (exc.offset or 0) + 1,
+                f"syntax error: {exc.msg}",
+            )
+        )
+        return result
+    result.tree = tree
+    ctx = FileContext(rel, source, tree)
+    result.suppressions = _parse_suppressions(rel, source)
+    for rule in rules:
+        if rule.applies_to(rel):
+            result.findings.extend(rule.check(ctx))
+    return result
+
+
 def _parse_suppressions(path: str, source: str) -> List[Suppression]:
     out: List[Suppression] = []
     try:
@@ -244,6 +340,14 @@ def iter_python_files(root: Path) -> Iterator[Path]:
     yield from sorted(root.rglob("*.py"))
 
 
+#: the injectable per-file half of :func:`analyze`:
+#: ``scanner(jobs, rules) -> [ScanResult, ...]`` in submission order
+Scanner = Callable[
+    [Sequence[Tuple[Path, str]], Sequence[Rule]],
+    Sequence[ScanResult],
+]
+
+
 def _relative_path(file_path: Path, root: Path) -> str:
     """Package-relative posix path, e.g. ``repro/core/picola.py``."""
     base = root if root.is_dir() else root.parent
@@ -259,6 +363,9 @@ def analyze(
     rules: Sequence[Rule],
     *,
     paths: Optional[Sequence[Path]] = None,
+    scanner: Optional[
+        "Scanner"
+    ] = None,
 ) -> AnalysisReport:
     """Run ``rules`` over every Python file under ``root``.
 
@@ -266,6 +373,13 @@ def analyze(
     resolved relative to ``root`` for stable finding paths).  Findings
     matching a ``# repro: noqa`` suppression are moved aside; unused
     suppressions are reported so stale ones fail ``--strict`` runs.
+
+    ``scanner`` overrides the per-file half of the walk: it receives
+    the ordered ``[(file_path, rel), ...]`` list plus the rules and
+    must return one :class:`ScanResult` per file *in the same order*
+    (``picola lint --jobs N`` injects a process-pool scanner here).
+    The cross-file :class:`ProjectRule` phase always runs in-process,
+    after the scan.
     """
     report = AnalysisReport()
     contexts: List[FileContext] = []
@@ -275,35 +389,19 @@ def analyze(
     files = list(paths) if paths is not None else list(
         iter_python_files(root)
     )
-    for file_path in files:
-        rel = _relative_path(file_path, root)
-        try:
-            source = file_path.read_text()
-        except OSError as exc:
-            raw.append(
-                Finding(SYNTAX_RULE_ID, rel, 1, 1, f"unreadable: {exc}")
-            )
-            continue
-        report.files_checked += 1
-        try:
-            tree = ast.parse(source, filename=str(file_path))
-        except SyntaxError as exc:
-            raw.append(
-                Finding(
-                    SYNTAX_RULE_ID,
-                    rel,
-                    exc.lineno or 1,
-                    (exc.offset or 0) + 1,
-                    f"syntax error: {exc.msg}",
-                )
-            )
-            continue
-        ctx = FileContext(rel, source, tree)
-        contexts.append(ctx)
-        suppressions.extend(_parse_suppressions(rel, source))
-        for rule in rules:
-            if rule.applies_to(rel):
-                raw.extend(rule.check(ctx))
+    jobs = [(fp, _relative_path(fp, root)) for fp in files]
+    if scanner is not None:
+        results = list(scanner(jobs, rules))
+    else:
+        results = [scan_file(fp, rel, rules) for fp, rel in jobs]
+    for scanned in results:
+        raw.extend(scanned.findings)
+        suppressions.extend(scanned.suppressions)
+        if scanned.checked:
+            report.files_checked += 1
+        ctx = scanned.context()
+        if ctx is not None:
+            contexts.append(ctx)
 
     for rule in rules:
         if isinstance(rule, ProjectRule):
@@ -325,7 +423,13 @@ def analyze(
             report.suppressed.append((finding, hit))
         else:
             report.findings.append(finding)
+    # a suppression naming only rules that did not run this pass
+    # (e.g. ``noqa[RPA010]`` under ``--no-flow``) is dormant, not
+    # stale — it must not fail --strict
+    active = {getattr(rule, "rule_id", None) for rule in rules}
     report.unused_suppressions = [
-        s for s in suppressions if not s.used
+        s for s in suppressions
+        if not s.used
+        and (s.rules is None or any(r in active for r in s.rules))
     ]
     return report

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 from .baseline import BaselineEntry
 from .engine import AnalysisReport, Finding, Suppression
 
-__all__ = ["LintResult", "render_text", "render_json"]
+__all__ = ["LintResult", "render_text", "render_json", "render_github"]
 
 JSON_SCHEMA_VERSION = 1
 
@@ -88,6 +88,73 @@ def render_text(result: LintResult) -> str:
     if extras:
         summary += " (" + ", ".join(extras) + ")"
     lines.append(summary)
+    return "\n".join(lines)
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property (file=, title=)."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+        .replace(":", "%3A")
+        .replace(",", "%2C")
+    )
+
+
+def _escape_data(value: str) -> str:
+    """Escape workflow-command message data."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+
+
+def render_github(result: LintResult, prefix: str = "") -> str:
+    """GitHub Actions ``::error`` annotations, one per finding.
+
+    ``prefix`` maps package-relative finding paths onto repo-relative
+    ones (``src/`` in this repository's CI) so the annotations attach
+    inline to PR diffs.  A plain-text summary line comes last — the
+    workflow-command lines are consumed by the runner and never shown
+    in the job log body.
+    """
+    lines: List[str] = []
+    for finding in result.new_findings:
+        lines.append(
+            f"::error file={_escape_property(prefix + finding.path)},"
+            f"line={finding.line},col={finding.col},"
+            f"title={_escape_property(finding.rule)}::"
+            f"{_escape_data(finding.message)}"
+        )
+    if result.strict:
+        for entry in result.stale_baseline:
+            lines.append(
+                f"::error file={_escape_property(prefix + entry.path)},"
+                f"line={entry.line or 1},"
+                f"title={_escape_property(entry.rule + ' baseline')}::"
+                + _escape_data(
+                    f"stale baseline entry {entry.fingerprint}; the "
+                    "finding it excused is gone — delete it"
+                )
+            )
+        for sup in result.unused_suppressions:
+            which = ",".join(sup.rules) if sup.rules else "all"
+            lines.append(
+                f"::error file={_escape_property(prefix + sup.path)},"
+                f"line={sup.line},"
+                f"title={_escape_property('unused suppression')}::"
+                + _escape_data(
+                    f"# repro: noqa[{which}] suppresses nothing; "
+                    "delete it"
+                )
+            )
+    n = len(result.new_findings)
+    lines.append(
+        f"{result.report.files_checked} files checked: "
+        f"{n} finding{'s' if n != 1 else ''}"
+    )
     return "\n".join(lines)
 
 

@@ -16,6 +16,7 @@ import ast
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .engine import FileContext, Finding, ProjectRule, Rule
+from .flow import FLOW_RULE_CLASSES
 
 __all__ = ["DEFAULT_RULES", "RULE_CLASSES", "rules_by_id"]
 
@@ -698,7 +699,8 @@ class ServicePayloadRule(Rule):
                 )
 
 
-RULE_CLASSES: Tuple[type, ...] = (
+#: per-file rules (safe to run file-by-file, in-process or in workers)
+FILE_RULE_CLASSES: Tuple[type, ...] = (
     BudgetThreadingRule,
     SpanHygieneRule,
     ExceptHygieneRule,
@@ -710,10 +712,19 @@ RULE_CLASSES: Tuple[type, ...] = (
     ServicePayloadRule,
 )
 
+#: the full pack: per-file rules plus the whole-program flow rules
+#: (RPA010-RPA014, built on the repro.analysis.callgraph layer)
+RULE_CLASSES: Tuple[type, ...] = FILE_RULE_CLASSES + FLOW_RULE_CLASSES
 
-def DEFAULT_RULES() -> List[Rule]:
-    """Fresh instances of the full rule pack."""
-    return [cls() for cls in RULE_CLASSES]
+
+def DEFAULT_RULES(*, flow: bool = True) -> List[Rule]:
+    """Fresh instances of the rule pack.
+
+    ``flow=False`` drops the whole-program rules (the ``picola lint
+    --no-flow`` escape hatch for quick per-file runs).
+    """
+    classes = RULE_CLASSES if flow else FILE_RULE_CLASSES
+    return [cls() for cls in classes]
 
 
 def rules_by_id() -> Dict[str, type]:

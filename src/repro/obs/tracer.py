@@ -26,6 +26,7 @@ flags use exactly that hook).
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
@@ -192,6 +193,14 @@ class Tracer:
     when :meth:`close` is called.  The tracer itself keeps the
     aggregates, so a sink-less ``Tracer()`` still supports
     :meth:`counters` / :meth:`timings` / profiling.
+
+    One tracer may be shared across threads — ``picola serve`` has its
+    handler threads and the batching thread count against the same
+    instance.  The aggregates (counters, gauges, histograms, sink
+    emission, close) are guarded by one re-entrant lock; the span
+    stack is **thread-local**, so concurrent spans nest per thread
+    instead of corrupting each other's depth/parent chains.  The
+    :class:`NullTracer` fast path stays lock-free.
     """
 
     enabled = True
@@ -203,13 +212,23 @@ class Tracer:
     ) -> None:
         self._sinks = list(sinks)
         self._clock = clock
-        self._stack: List[Span] = []
+        # RLock, not Lock: adopt() calls count() while holding it
+        self._lock = threading.RLock()
+        self._local = threading.local()
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, Dict[str, float]] = {}
         self._timings: Dict[str, Histogram] = {}
         self._closed = False
 
     # -- spans ---------------------------------------------------------
+    @property
+    def _stack(self) -> List[Span]:
+        """This thread's span stack (created lazily per thread)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
     def span(self, name: str, **attrs: Any) -> Span:
         parent = self._stack[-1].name if self._stack else None
         return Span(self, name, attrs, len(self._stack), parent)
@@ -222,44 +241,49 @@ class Tracer:
 
     def _exit(self, span: Span) -> None:
         span.seconds = self._clock() - span.start
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
-        hist = self._timings.get(span.name)
-        if hist is None:
-            hist = self._timings[span.name] = Histogram()
-        hist.add(span.seconds)
-        if self._sinks:
-            event = {
-                "type": "span",
-                "name": span.name,
-                "parent": span.parent,
-                "depth": span.depth,
-                "seconds": span.seconds,
-                "attrs": span.attrs,
-            }
-            for sink in self._sinks:
-                sink.emit(event)
+        stack = self._stack  # thread-local: no lock needed
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            hist = self._timings.get(span.name)
+            if hist is None:
+                hist = self._timings[span.name] = Histogram()
+            hist.add(span.seconds)
+            if self._sinks:
+                event = {
+                    "type": "span",
+                    "name": span.name,
+                    "parent": span.parent,
+                    "depth": span.depth,
+                    "seconds": span.seconds,
+                    "attrs": span.attrs,
+                }
+                for sink in self._sinks:
+                    sink.emit(event)
 
     # -- counters and gauges -------------------------------------------
     def count(self, name: str, n: int = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + n
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
 
     def counter(self, name: str) -> int:
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     def gauge(self, name: str, value: float) -> None:
-        g = self._gauges.get(name)
-        if g is None:
-            self._gauges[name] = {
-                "last": value, "min": value, "max": value, "n": 1,
-            }
-        else:
-            g["last"] = value
-            g["n"] += 1
-            if value < g["min"]:
-                g["min"] = value
-            if value > g["max"]:
-                g["max"] = value
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                self._gauges[name] = {
+                    "last": value, "min": value, "max": value, "n": 1,
+                }
+            else:
+                g["last"] = value
+                g["n"] += 1
+                if value < g["min"]:
+                    g["min"] = value
+                if value > g["max"]:
+                    g["max"] = value
 
     # -- adoption of foreign (worker-process) events --------------------
     def adopt(
@@ -284,7 +308,8 @@ class Tracer:
         ``--profile`` reports are whole-run coherent regardless of
         which process did the work.
         """
-        base = len(self._stack)
+        stack = self._stack  # thread-local
+        base = len(stack)
         shift = base + (1 if root is not None else 0)
         root_name = root["name"] if root is not None else None
         events: List[Dict[str, Any]] = []
@@ -299,63 +324,67 @@ class Tracer:
             ev.setdefault("type", "span")
             ev.setdefault("attrs", {})
             ev["depth"] = base
-            ev["parent"] = (
-                self._stack[-1].name if self._stack else None
-            )
+            ev["parent"] = stack[-1].name if stack else None
             events.append(ev)
-        for ev in events:
-            hist = self._timings.get(ev["name"])
-            if hist is None:
-                hist = self._timings[ev["name"]] = Histogram()
-            hist.add(ev["seconds"])
-            for sink in self._sinks:
-                sink.emit(ev)
-        for name, value in (counters or {}).items():
-            self.count(name, value)
-        for name, g in (gauges or {}).items():
-            mine = self._gauges.get(name)
-            if mine is None:
-                self._gauges[name] = dict(g)
-            else:
-                mine["last"] = g["last"]
-                mine["n"] += g["n"]
-                if g["min"] < mine["min"]:
-                    mine["min"] = g["min"]
-                if g["max"] > mine["max"]:
-                    mine["max"] = g["max"]
+        with self._lock:
+            for ev in events:
+                hist = self._timings.get(ev["name"])
+                if hist is None:
+                    hist = self._timings[ev["name"]] = Histogram()
+                hist.add(ev["seconds"])
+                for sink in self._sinks:
+                    sink.emit(ev)
+            for name, value in (counters or {}).items():
+                self.count(name, value)
+            for name, g in (gauges or {}).items():
+                mine = self._gauges.get(name)
+                if mine is None:
+                    self._gauges[name] = dict(g)
+                else:
+                    mine["last"] = g["last"]
+                    mine["n"] += g["n"]
+                    if g["min"] < mine["min"]:
+                        mine["min"] = g["min"]
+                    if g["max"] > mine["max"]:
+                        mine["max"] = g["max"]
 
     # -- snapshots -----------------------------------------------------
     def counters(self) -> Dict[str, int]:
-        return dict(self._counters)
+        with self._lock:
+            return dict(self._counters)
 
     def gauges(self) -> Dict[str, Dict[str, float]]:
-        return {k: dict(v) for k, v in self._gauges.items()}
+        with self._lock:
+            return {k: dict(v) for k, v in self._gauges.items()}
 
     def timings(self) -> Dict[str, Histogram]:
-        return dict(self._timings)
+        with self._lock:
+            return dict(self._timings)
 
     def close(self) -> None:
         """Emit the aggregate events and close every sink (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        if self._sinks:
-            for event in (
-                {"type": "counters", "values": self.counters()},
-                {"type": "gauges", "values": self.gauges()},
-                {
-                    "type": "timings",
-                    "values": {
-                        k: v.to_dict() for k, v in self._timings.items()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._sinks:
+                for event in (
+                    {"type": "counters", "values": self.counters()},
+                    {"type": "gauges", "values": self.gauges()},
+                    {
+                        "type": "timings",
+                        "values": {
+                            k: v.to_dict()
+                            for k, v in self._timings.items()
+                        },
                     },
-                },
-            ):
-                for sink in self._sinks:
-                    sink.emit(event)
-        for sink in self._sinks:
-            close = getattr(sink, "close", None)
-            if close is not None:
-                close()
+                ):
+                    for sink in self._sinks:
+                        sink.emit(event)
+            for sink in self._sinks:
+                close = getattr(sink, "close", None)
+                if close is not None:
+                    close()
 
 
 # ----------------------------------------------------------------------

@@ -116,12 +116,17 @@ class ServiceState:
             return self._in_flight
 
     def stats(self) -> Dict[str, Any]:
+        # one lock-consistent snapshot: in_flight and rejected move
+        # together under admission control, so reading them piecewise
+        # could show a queue that is simultaneously full and empty
+        with self._lock:
+            in_flight, rejected = self._in_flight, self.rejected
         snapshot: Dict[str, Any] = {
             "cache": self.cache.stats(),
             "queue": {
-                "in_flight": self.in_flight,
+                "in_flight": in_flight,
                 "limit": self.config.queue_limit,
-                "rejected": self.rejected,
+                "rejected": rejected,
             },
         }
         if getattr(self.tracer, "enabled", False):

@@ -311,3 +311,111 @@ class TestNullTracerOverhead:
             f"NullTracer overhead {100 * (ratio - 1):.2f}% "
             f"(bare {bare:.6f}s vs instrumented {nulled:.6f}s)"
         )
+
+
+class TestTracerThreadSafety:
+    """Regression tests for the PR-9 Tracer data race: concurrent
+    count()/span()/gauge() calls from `picola serve` handler threads
+    lost updates before the aggregates were lock-guarded."""
+
+    THREADS = 8
+    PER_THREAD = 2000
+
+    def _hammer(self, work):
+        import sys
+        import threading
+
+        # force frequent preemption so torn read-modify-write cycles
+        # actually interleave instead of hiding behind long timeslices
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            threads = [
+                threading.Thread(target=work, args=(i,))
+                for i in range(self.THREADS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            sys.setswitchinterval(old)
+
+    def test_concurrent_counts_are_exact(self):
+        tracer = Tracer()
+
+        def work(i):
+            for _ in range(self.PER_THREAD):
+                tracer.count("hammer.n")
+                tracer.gauge("hammer.g", i)
+
+        self._hammer(work)
+        assert tracer.counter("hammer.n") == self.THREADS * self.PER_THREAD
+        assert tracer.gauges()["hammer.g"]["n"] == (
+            self.THREADS * self.PER_THREAD
+        )
+
+    def test_concurrent_spans_keep_exact_histograms(self):
+        tracer = Tracer()
+
+        def work(i):
+            for _ in range(self.PER_THREAD // 4):
+                with tracer.span("hammer/outer"):
+                    with tracer.span("hammer/inner"):
+                        pass
+
+        self._hammer(work)
+        expected = self.THREADS * (self.PER_THREAD // 4)
+        assert tracer.timings()["hammer/outer"].n == expected
+        assert tracer.timings()["hammer/inner"].n == expected
+
+    def test_span_stacks_are_thread_local(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+
+        def work(i):
+            for _ in range(50):
+                with tracer.span("outer"):
+                    with tracer.span("inner"):
+                        pass
+
+        self._hammer(work)
+        inner = [e for e in sink.spans if e["name"] == "inner"]
+        outer = [e for e in sink.spans if e["name"] == "outer"]
+        # concurrent nesting never bleeds across threads: every inner
+        # span sits at depth 1 under its own thread's outer span
+        assert {e["depth"] for e in inner} == {1}
+        assert {e["parent"] for e in inner} == {"outer"}
+        assert {e["depth"] for e in outer} == {0}
+
+    def test_snapshots_race_free_against_writers(self):
+        import threading
+
+        tracer = Tracer()
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    tracer.counters()
+                    tracer.gauges()
+                    tracer.timings()
+                except RuntimeError as exc:  # dict changed size, ...
+                    errors.append(exc)
+                    return
+
+        snap = threading.Thread(target=reader)
+        snap.start()
+
+        def work(i):
+            for k in range(self.PER_THREAD):
+                tracer.count(f"hammer.{k % 97}")
+                tracer.gauge(f"gauge.{k % 89}", k)
+
+        try:
+            self._hammer(work)
+        finally:
+            stop.set()
+            snap.join()
+        assert errors == []

@@ -504,3 +504,113 @@ class TestBackpressure:
         assert tightened.timeout == 5.0
         explicit = state.apply_qos(simple_request(timeout=1.0))
         assert explicit.timeout == 1.0
+
+
+class TestDaemonThreadHammer:
+    """Regression: the live daemon served handler threads against a
+    shared Tracer and ServiceState whose counters raced before PR 9
+    (lost `service.requests` increments, torn /v1/stats snapshots)."""
+
+    CLIENTS = 6
+    PER_CLIENT = 4
+
+    def _start_server(self, tracer):
+        import threading
+
+        from repro.service import make_server
+
+        server = make_server(
+            ServerConfig(
+                port=0,
+                queue_limit=256,
+                cache_size=0,  # every request does real work
+                batch_wait=0.0,
+            ),
+            tracer=tracer,
+        )
+        loop = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        loop.start()
+        return server, loop
+
+    def test_concurrent_encode_and_stats(self):
+        import http.client
+        import json as jsonlib
+        import threading
+
+        tracer = Tracer()
+        server, loop = self._start_server(tracer)
+        host, port = server.server_address[:2]
+        statuses = []
+        status_lock = threading.Lock()
+        failures = []
+
+        def client(i):
+            try:
+                for k in range(self.PER_CLIENT):
+                    tag = f"t{i}k{k}"
+                    body = jsonlib.dumps({
+                        "symbols": [f"{tag}s{j}" for j in range(4)],
+                        "constraints": [
+                            {"symbols": [f"{tag}s0", f"{tag}s1"]},
+                        ],
+                        "solver": "picola",
+                    }).encode()
+                    conn = http.client.HTTPConnection(
+                        host, port, timeout=60
+                    )
+                    conn.request(
+                        "POST", "/v1/encode", body,
+                        {"Content-Type": "application/json"},
+                    )
+                    resp = conn.getresponse()
+                    payload = jsonlib.loads(resp.read())
+                    conn.close()
+                    with status_lock:
+                        statuses.append(resp.status)
+                    if resp.status == 200:
+                        assert payload["result"]["status"] == "ok"
+            except Exception as exc:  # surfaced after join
+                failures.append(f"client {i}: {exc!r}")
+
+        def stats_reader():
+            try:
+                for _ in range(3 * self.PER_CLIENT):
+                    conn = http.client.HTTPConnection(
+                        host, port, timeout=60
+                    )
+                    conn.request("GET", "/v1/stats")
+                    resp = conn.getresponse()
+                    doc = jsonlib.loads(resp.read())
+                    conn.close()
+                    assert resp.status == 200
+                    queue = doc["queue"]
+                    # a torn snapshot can show in_flight below 0 or
+                    # past the limit; the locked one never does
+                    assert 0 <= queue["in_flight"] <= queue["limit"]
+                    assert queue["rejected"] >= 0
+            except Exception as exc:
+                failures.append(f"stats: {exc!r}")
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(self.CLIENTS)
+        ]
+        threads.append(threading.Thread(target=stats_reader))
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+        finally:
+            server.shutdown()
+            server.server_close()
+            loop.join(timeout=10)
+        assert failures == []
+        expected = self.CLIENTS * self.PER_CLIENT
+        assert statuses == [200] * expected
+        # every accepted request was counted exactly once: lost
+        # increments under concurrency were the PR-9 Tracer bug
+        assert tracer.counter("service.requests") == expected
+        assert tracer.counter("service.cache.misses") == expected
