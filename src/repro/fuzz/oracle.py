@@ -111,6 +111,42 @@ class CaseOutcome:
             f"{self.classification:<10}{extra}{hard}"
         )
 
+    # -- wire codec (shard streams, campaign JSON) ---------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "key": self.key,
+            "family": self.family,
+            "seed": self.seed,
+            "solver": self.solver,
+            "classification": self.classification,
+            "detail": self.detail,
+            "seconds": self.seconds,
+            "n_symbols": self.n_symbols,
+            "n_constraints": self.n_constraints,
+            "hardened": self.hardened,
+            "hardened_detail": self.hardened_detail,
+        }
+        if self.case_data is not None:
+            data["case_data"] = self.case_data
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CaseOutcome":
+        return cls(
+            key=data["key"],
+            family=data["family"],
+            seed=data["seed"],
+            solver=data["solver"],
+            classification=data["classification"],
+            detail=data.get("detail", ""),
+            seconds=data.get("seconds", 0.0),
+            n_symbols=data.get("n_symbols", 0),
+            n_constraints=data.get("n_constraints", 0),
+            hardened=data.get("hardened"),
+            hardened_detail=data.get("hardened_detail", ""),
+            case_data=data.get("case_data"),
+        )
+
 
 def _solver_options(
     solver_name: str, case: FuzzCase, seed: int

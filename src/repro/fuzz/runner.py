@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..harness.parallel import Unit, run_units
+from ..harness.shard import StreamWriter, build_meta, resolve_shard
 from ..obs import resolve_tracer
 from ..runtime import (
     InvalidSpecError,
@@ -78,9 +79,28 @@ class FuzzConfig:
     harden: bool = True
     corpus: Optional[str] = None
     cosim_steps: int = 128
+    #: ``"K/N"`` — run only this host's slice of the case list
+    shard: Optional[str] = None
+    #: JSONL results file, one line per classified case
+    stream: Optional[str] = None
 
     def resolved_generators(self) -> Tuple[str, ...]:
         return tuple(self.generators) or list_generators()
+
+    def params(self) -> Dict[str, Any]:
+        """The campaign identity for shard/stream meta blocks —
+        everything that shapes the case list and its classification
+        (not the host-local knobs: jobs, corpus, shard, stream)."""
+        return {
+            "solver": self.solver,
+            "generators": list(self.resolved_generators()),
+            "max_examples": self.max_examples,
+            "seed": self.seed,
+            "scale": self.scale,
+            "timeout": self.timeout,
+            "harden": self.harden,
+            "cosim_steps": self.cosim_steps,
+        }
 
     def check(self) -> None:
         """Raise :class:`InvalidSpecError` on a bad configuration."""
@@ -174,22 +194,7 @@ class FuzzReport:
             "corpus_files": [
                 path.replace("\\", "/") for path in self.corpus_files
             ],
-            "cases": [
-                {
-                    "key": o.key,
-                    "family": o.family,
-                    "seed": o.seed,
-                    "solver": o.solver,
-                    "classification": o.classification,
-                    "detail": o.detail,
-                    "seconds": o.seconds,
-                    "n_symbols": o.n_symbols,
-                    "n_constraints": o.n_constraints,
-                    "hardened": o.hardened,
-                    "hardened_detail": o.hardened_detail,
-                }
-                for o in self.outcomes
-            ],
+            "cases": [o.to_dict() for o in self.outcomes],
         }
 
 
@@ -304,9 +309,16 @@ def run_fuzz(
     tracer=None,
     verbose: bool = False,
 ) -> FuzzReport:
-    """Run one campaign; deterministic for a fixed config."""
+    """Run one campaign; deterministic for a fixed config.
+
+    With ``config.shard`` (``K/N``) only this host's deterministic
+    slice of the case list runs; ``config.stream`` appends one JSON
+    line per classified case so progress can be tailed and ``picola
+    merge --from-stream`` can rebuild the combined campaign report.
+    """
     config.check()
     tracer = resolve_tracer(tracer)
+    spec = resolve_shard(config.shard)
     families = config.resolved_generators()
     units = []
     for i in range(config.max_examples):
@@ -319,34 +331,49 @@ def run_fuzz(
                 args=(family, case_seed, config),
             )
         )
+    writer: Optional[StreamWriter] = None
+    if spec is not None or config.stream is not None:
+        meta = build_meta(
+            "fuzz", [u.key for u in units], config.params(), spec
+        )
+        if config.stream is not None:
+            writer = StreamWriter(config.stream, meta)
+    if spec is not None:
+        units = [u for i, u in enumerate(units) if spec.owns(i)]
     report = FuzzReport(config=config)
     with tracer.span(
         "fuzz/campaign", solver=config.solver, seed=config.seed,
         examples=config.max_examples,
     ):
-        for unit, result in zip(
-            units, run_units(units, jobs=config.jobs, tracer=tracer)
-        ):
-            if result.ok:
-                outcome = result.value
-            else:
-                # the oracle never raises, so a failed unit means the
-                # harness itself broke inside the worker — a finding
-                outcome = CaseOutcome(
-                    key=unit.key,
-                    family=unit.args[0],
-                    seed=unit.args[1],
-                    solver=config.solver,
-                    classification=(
-                        TIMEOUT
-                        if result.status in ("timeout", "budget")
-                        else CRASH
-                    ),
-                    detail=f"harness: {result.error}",
-                    seconds=result.seconds,
-                )
-            report.outcomes.append(outcome)
-            if verbose and outcome.is_finding:
-                print("  " + outcome.line())
+        try:
+            for unit, result in zip(
+                units, run_units(units, jobs=config.jobs, tracer=tracer)
+            ):
+                if result.ok:
+                    outcome = result.value
+                else:
+                    # the oracle never raises, so a failed unit means
+                    # the harness itself broke in the worker — a finding
+                    outcome = CaseOutcome(
+                        key=unit.key,
+                        family=unit.args[0],
+                        seed=unit.args[1],
+                        solver=config.solver,
+                        classification=(
+                            TIMEOUT
+                            if result.status in ("timeout", "budget")
+                            else CRASH
+                        ),
+                        detail=f"harness: {result.error}",
+                        seconds=result.seconds,
+                    )
+                report.outcomes.append(outcome)
+                if writer is not None:
+                    writer.emit_cell(unit.key, outcome.to_dict())
+                if verbose and outcome.is_finding:
+                    print("  " + outcome.line())
+        finally:
+            if writer is not None:
+                writer.close()
         _distill(report, tracer, verbose)
     return report

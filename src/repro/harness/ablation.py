@@ -31,6 +31,7 @@ from ..runtime.checkpoint import payload_failed, resumable
 from ..solvers import get_solver
 from .parallel import Unit, run_units
 from .report import render_table
+from .shard import ShardSpec, StreamWriter, build_meta, resolve_shard
 from .table1 import QUICK_FSMS
 
 __all__ = ["ABLATION_VARIANTS", "AblationReport", "run_ablation"]
@@ -194,6 +195,8 @@ def run_ablation(
     checkpoint: Optional[Union[str, pathlib.Path, Checkpoint]] = None,
     jobs: int = 1,
     retry_failed: bool = False,
+    shard: Optional[Union[str, ShardSpec]] = None,
+    stream: Optional[Union[str, pathlib.Path]] = None,
 ) -> AblationReport:
     if fsms is None:
         fsms = QUICK_FSMS
@@ -202,16 +205,35 @@ def run_ablation(
     variants = list(variants)
     if include_exact and EXACT_VARIANT not in variants:
         variants.append(EXACT_VARIANT)
+    spec = resolve_shard(shard)
+    all_names = list(fsms)
+    meta: Optional[Dict[str, Any]] = None
+    if spec is not None or stream is not None:
+        meta = build_meta(
+            "ablation", all_names,
+            {
+                "variants": variants, "timeout": timeout,
+                "exact_nodes": exact_nodes,
+            },
+            spec,
+        )
+    names = spec.partition(all_names) if spec is not None else all_names
     ckpt: Optional[Checkpoint] = None
     if checkpoint is not None:
         ckpt = (
             checkpoint if isinstance(checkpoint, Checkpoint)
-            else Checkpoint(checkpoint, experiment="ablation")
+            else Checkpoint(
+                checkpoint, experiment="ablation",
+                meta=meta if spec is not None else None,
+            )
         )
+    writer = (
+        StreamWriter(stream, meta) if stream is not None else None
+    )
     report = AblationReport(variants=variants)
     resumed: Dict[str, Dict[str, Any]] = {}
     units: List[Unit] = []
-    for name in fsms:
+    for name in names:
         payload = resumable(ckpt, name, retry_failed)
         if payload is not None:
             resumed[name] = payload
@@ -221,52 +243,67 @@ def run_ablation(
                 kwargs=dict(timeout=timeout, exact_nodes=exact_nodes),
             ))
     outcomes = run_units(units, jobs=jobs)
-    for name in fsms:
-        if name in resumed:
-            payload = resumed[name]
-            if payload_failed(payload):
-                reason = payload.get("reason") or payload["status"]
-                report.failures[name] = reason
+    try:
+        for name in names:
+            if name in resumed:
+                payload = resumed[name]
+                if writer is not None:
+                    writer.emit_cell(name, payload, resumed=True)
+                if payload_failed(payload):
+                    reason = payload.get("reason") or payload["status"]
+                    report.failures[name] = reason
+                    if verbose:
+                        print(
+                            f"{name}: FAILED ({reason}, resumed from "
+                            "checkpoint)",
+                            flush=True,
+                        )
+                    continue
+                report.cubes[name] = dict(payload.get("cubes", {}))
+                report.satisfied[name] = dict(
+                    payload.get("satisfied", {})
+                )
+                report.seconds[name] = dict(payload.get("seconds", {}))
+                report.nodes[name] = dict(payload.get("nodes", {}))
+                status = dict(payload.get("status", {}))
+                if status:
+                    report.cell_status[name] = status
                 if verbose:
                     print(
-                        f"{name}: FAILED ({reason}, resumed from "
-                        "checkpoint)",
-                        flush=True,
+                        f"{name}: resumed from checkpoint", flush=True
                     )
                 continue
-            report.cubes[name] = dict(payload.get("cubes", {}))
-            report.satisfied[name] = dict(payload.get("satisfied", {}))
-            report.seconds[name] = dict(payload.get("seconds", {}))
-            report.nodes[name] = dict(payload.get("nodes", {}))
-            status = dict(payload.get("status", {}))
-            if status:
-                report.cell_status[name] = status
-            if verbose:
-                print(f"{name}: resumed from checkpoint", flush=True)
-            continue
-        outcome = next(outcomes)
-        if not outcome.ok:
-            report.failures[name] = outcome.reason
-            if ckpt is not None:
-                ckpt.mark_done(name, {
+            outcome = next(outcomes)
+            if not outcome.ok:
+                failure = {
                     "status": outcome.status,
                     "reason": outcome.reason,
                     "error": outcome.error,
-                })
+                }
+                report.failures[name] = outcome.reason
+                if ckpt is not None:
+                    ckpt.mark_done(name, failure)
+                if writer is not None:
+                    writer.emit_cell(name, failure)
+                if verbose:
+                    print(
+                        f"{name}: FAILED ({outcome.reason})", flush=True
+                    )
+                continue
+            cells = outcome.value
+            report.cubes[name] = cells["cubes"]
+            report.satisfied[name] = cells["satisfied"]
+            report.seconds[name] = cells["seconds"]
+            report.nodes[name] = cells["nodes"]
+            if cells["status"]:
+                report.cell_status[name] = cells["status"]
+            if ckpt is not None:
+                ckpt.mark_done(name, cells)
+            if writer is not None:
+                writer.emit_cell(name, cells)
             if verbose:
-                print(
-                    f"{name}: FAILED ({outcome.reason})", flush=True
-                )
-            continue
-        cells = outcome.value
-        report.cubes[name] = cells["cubes"]
-        report.satisfied[name] = cells["satisfied"]
-        report.seconds[name] = cells["seconds"]
-        report.nodes[name] = cells["nodes"]
-        if cells["status"]:
-            report.cell_status[name] = cells["status"]
-        if ckpt is not None:
-            ckpt.mark_done(name, cells)
-        if verbose:
-            print(f"{name}: {report.cubes[name]}", flush=True)
+                print(f"{name}: {report.cubes[name]}", flush=True)
+    finally:
+        if writer is not None:
+            writer.close()
     return report

@@ -22,6 +22,9 @@ Commands
   an HTTP/JSON front end with a content-addressed result cache,
   micro-batching over the process pool and bounded-queue
   backpressure.
+* ``merge`` — combine the shard checkpoint/stream files written by
+  ``--shard K/N`` runs on independent hosts into the full report
+  (:mod:`repro.harness.merge`), byte-identical to an unsharded run.
 
 Robustness: the experiment commands take ``--timeout SECONDS`` (per
 solver), ``--resume PATH`` (JSON checkpoint; created on first use,
@@ -29,7 +32,11 @@ reused to skip completed benchmarks — failed ones included, unless
 ``--retry-failed``) and ``--jobs N`` (process-pool parallelism over
 benchmark units, ``0`` = all cores, with deterministic
 submission-order merging so output matches a serial run
-byte-for-byte).  Structured failures
+byte-for-byte).  Multi-host: ``--shard K/N`` deterministically
+restricts a run to every Kth benchmark of N (stamping the checkpoint
+with a self-describing shard meta block) and ``--stream PATH``
+appends one JSON line per completed cell; ``picola merge`` recombines
+either kind of file.  Structured failures
 (:class:`~repro.runtime.ReproError`) and I/O errors print a one-line
 diagnostic and exit with code 2; an experiment that completes but
 contains failed rows exits with code 1.
@@ -106,6 +113,22 @@ def _build_parser() -> argparse.ArgumentParser:
                  "serial, 0 = all CPU cores); results are merged "
                  "deterministically, output is identical to a "
                  "serial run",
+        )
+        add_shard_flags(p)
+
+    def add_shard_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--shard", default=None, metavar="K/N",
+            help="run only this host's deterministic 1-based slice "
+                 "of the benchmark list (every Kth unit of N); "
+                 "combine the per-shard --resume checkpoints or "
+                 "--stream files with 'picola merge'",
+        )
+        p.add_argument(
+            "--stream", default=None, metavar="PATH",
+            help="append one JSON line per completed benchmark to "
+                 "PATH as it finishes (tail-able progress; 'picola "
+                 "merge --from-stream' rebuilds the report from it)",
         )
 
     def add_json_flag(p: argparse.ArgumentParser) -> None:
@@ -258,8 +281,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the fault-hardening pass (re-running each case "
              "with faults armed at the budget/oracle seams)",
     )
+    add_shard_flags(p11)
     add_json_flag(p11)
     add_obs_flags(p11)
+
+    p13 = sub.add_parser(
+        "merge",
+        help="combine shard checkpoint/stream files (from --shard "
+             "K/N runs) into the full report, byte-identical to an "
+             "unsharded run",
+    )
+    p13.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="one shard checkpoint (--resume) or stream (--stream) "
+             "file per shard; container format is auto-detected",
+    )
+    p13.add_argument(
+        "--from-stream", action="store_true",
+        help="force JSONL stream parsing instead of auto-detection",
+    )
+    add_json_flag(p13)
 
     p12 = sub.add_parser(
         "serve",
@@ -348,6 +389,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             fsms, include_enc=not args.no_enc, verbose=True,
             timeout=args.timeout, checkpoint=args.resume,
             jobs=args.jobs, retry_failed=args.retry_failed,
+            shard=args.shard, stream=args.stream,
         )
         print(report.render(profile=profile))
         _maybe_json(report, args.json)
@@ -358,6 +400,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             fsms, verbose=True,
             timeout=args.timeout, checkpoint=args.resume,
             jobs=args.jobs, retry_failed=args.retry_failed,
+            shard=args.shard, stream=args.stream,
         )
         print(report.render(profile=profile))
         _maybe_json(report, args.json)
@@ -367,6 +410,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             args.fsm, verbose=True, include_exact=args.exact,
             timeout=args.timeout, checkpoint=args.resume,
             jobs=args.jobs, retry_failed=args.retry_failed,
+            shard=args.shard, stream=args.stream,
         )
         print(report.render(profile=profile))
         _maybe_json(report, args.json)
@@ -429,6 +473,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             args.fsm, seeds=tuple(args.seeds), verbose=True,
             timeout=args.timeout, checkpoint=args.resume,
             jobs=args.jobs, retry_failed=args.retry_failed,
+            shard=args.shard, stream=args.stream,
         )
         print(report.render())
         _maybe_json(report, args.json)
@@ -462,11 +507,23 @@ def _dispatch(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             harden=not args.no_harden,
             corpus=args.corpus,
+            shard=args.shard,
+            stream=args.stream,
         )
         report = run_fuzz(config)
         print(report.render())
         _maybe_json(report, args.json)
         return 1 if report.n_findings else 0
+    elif args.command == "merge":
+        from .merge import merge_files, report_failures
+
+        report, experiment = merge_files(
+            args.files, from_stream=args.from_stream
+        )
+        print(f"merged {len(args.files)} shard file(s): {experiment}")
+        print(report.render())
+        _maybe_json(report, args.json)
+        return 1 if report_failures(report) else 0
     elif args.command == "serve":
         from ..service import ServerConfig, serve
 

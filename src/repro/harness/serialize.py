@@ -49,10 +49,13 @@ def _table2(report: Table2Report) -> Dict[str, Any]:
             for r in report.rows
         ],
         "summary": {
+            # the union of methods over every ok row, in first-seen
+            # order — the first ok row alone can have TIMEOUT holes
+            # or (in a shard) lack methods other rows report
             "totals": {
                 m: report.total_size(m)
-                for m in (
-                    next((r.sizes for r in report.rows if r.ok), {})
+                for m in dict.fromkeys(
+                    m for r in report.rows if r.ok for m in r.sizes
                 )
             },
             "failed": report.n_failed,
@@ -100,10 +103,12 @@ def _sweep(report: SeedSweepReport) -> Dict[str, Any]:
             f"{seed}/{fsm}": reason
             for (seed, fsm), reason in report.failures.items()
         },
+        "skipped_seeds": list(report.skipped_seeds),
         "summary": {
             "mean_overhead": report.mean_overhead(),
             "overhead_stddev": report.overhead_stddev(),
             "failed": report.n_failed,
+            "skipped_seeds": len(report.skipped_seeds),
         },
     }
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..encoding import derive_face_constraints, evaluate_encoding
 from ..fsm import BENCHMARKS, load_benchmark
@@ -28,6 +28,7 @@ from ..runtime.checkpoint import payload_failed, resumable
 from ..solvers import get_solver
 from .parallel import Unit, run_units
 from .report import render_table
+from .shard import ShardSpec, StreamWriter, build_meta, resolve_shard
 from .table1 import QUICK_FSMS
 
 __all__ = ["SeedSweepReport", "run_seed_sweep"]
@@ -57,6 +58,10 @@ class SeedSweepReport:
     outcomes: List[SeedOutcome] = field(default_factory=list)
     #: benchmarks that failed, as (seed, fsm) -> reason
     failures: Dict[Tuple[int, str], str] = field(default_factory=dict)
+    #: seeds excluded entirely because no cell of theirs completed —
+    #: aggregating them would inject fake 0-cube totals (and a fake
+    #: 0.0 overhead) into the mean/stddev statistics
+    skipped_seeds: List[int] = field(default_factory=list)
 
     @property
     def n_failed(self) -> int:
@@ -119,6 +124,14 @@ class SeedSweepReport:
                 f"\n{self.n_failed} benchmark(s) failed and were "
                 f"excluded: {failed}"
             )
+        if self.skipped_seeds:
+            skipped = ", ".join(
+                f"seed {seed}" for seed in self.skipped_seeds
+            )
+            summary += (
+                f"\n{len(self.skipped_seeds)} seed(s) excluded from "
+                f"the aggregate (no completed cells): {skipped}"
+            )
         return table + summary
 
 
@@ -155,6 +168,8 @@ def run_seed_sweep(
     checkpoint: Optional[Union[str, pathlib.Path, Checkpoint]] = None,
     jobs: int = 1,
     retry_failed: bool = False,
+    shard: Optional[Union[str, ShardSpec]] = None,
+    stream: Optional[Union[str, pathlib.Path]] = None,
 ) -> SeedSweepReport:
     """Re-run the quick Table I comparison for several FSM draws.
 
@@ -164,21 +179,57 @@ def run_seed_sweep(
     the last finished benchmark.  ``jobs`` fans the independent cells
     out to worker processes; results merge in submission order, so
     totals and the rendered table match a serial run exactly.
+
+    A seed none of whose cells completed is *excluded* from the
+    outcome rows (and listed in the summary) instead of contributing
+    fake zero totals to the mean/stddev statistics.
+
+    ``shard`` (``K/N``) runs only this host's slice of the
+    ``seed/fsm`` cell grid; a seed whose cells are split across
+    shards reports provisional per-shard totals — ``picola merge``
+    over all N shard checkpoints rebuilds the exact unsharded table.
+    ``stream`` appends one JSON line per completed cell.
     """
     if fsms is None:
         fsms = [f for f in QUICK_FSMS if BENCHMARKS[f].source != "file"]
+    spec = resolve_shard(shard)
+    all_keys = [
+        f"{seed}/{name}" for seed in seeds for name in fsms
+    ]
+    meta: Optional[Dict[str, Any]] = None
+    if spec is not None or stream is not None:
+        meta = build_meta(
+            "sweep", all_keys,
+            {
+                "fsms": list(fsms), "seeds": list(seeds),
+                "nova_seed": nova_seed, "timeout": timeout,
+            },
+            spec,
+        )
+    selected = (
+        set(spec.partition(all_keys)) if spec is not None
+        else set(all_keys)
+    )
     ckpt: Optional[Checkpoint] = None
     if checkpoint is not None:
         ckpt = (
             checkpoint if isinstance(checkpoint, Checkpoint)
-            else Checkpoint(checkpoint, experiment="sweep")
+            else Checkpoint(
+                checkpoint, experiment="sweep",
+                meta=meta if spec is not None else None,
+            )
         )
+    writer = (
+        StreamWriter(stream, meta) if stream is not None else None
+    )
     report = SeedSweepReport(fsms=list(fsms))
     resumed: Dict[str, Dict] = {}
     units: List[Unit] = []
     for seed in seeds:
         for name in fsms:
             key = f"{seed}/{name}"
+            if key not in selected:
+                continue
             payload = resumable(ckpt, key, retry_failed)
             if payload is not None:
                 resumed[key] = payload
@@ -188,62 +239,95 @@ def run_seed_sweep(
                     args=(name, seed, nova_seed, timeout),
                 ))
     outcomes = run_units(units, jobs=jobs)
-    for seed in seeds:
-        total_p = total_n = wins_p = wins_n = ties = 0
-        for name in fsms:
-            key = f"{seed}/{name}"
-            if key in resumed:
-                cell = resumed[key]
-                if payload_failed(cell):
-                    reason = cell.get("reason") or cell["status"]
-                    report.failures[(seed, name)] = reason
+    try:
+        for seed in seeds:
+            total_p = total_n = wins_p = wins_n = ties = 0
+            attempted = completed = 0
+            for name in fsms:
+                key = f"{seed}/{name}"
+                if key not in selected:
+                    continue
+                attempted += 1
+                if key in resumed:
+                    cell = resumed[key]
+                    if writer is not None:
+                        writer.emit_cell(key, cell, resumed=True)
+                    if payload_failed(cell):
+                        reason = cell.get("reason") or cell["status"]
+                        report.failures[(seed, name)] = reason
+                        if verbose:
+                            print(
+                                f"{key}: FAILED ({reason}, resumed "
+                                "from checkpoint)",
+                                flush=True,
+                            )
+                        continue
                     if verbose:
                         print(
-                            f"{key}: FAILED ({reason}, resumed from "
-                            "checkpoint)",
+                            f"{key}: resumed from checkpoint",
                             flush=True,
                         )
-                    continue
-                if verbose:
-                    print(f"{key}: resumed from checkpoint", flush=True)
-            else:
-                outcome = next(outcomes)
-                if not outcome.ok:
-                    report.failures[(seed, name)] = outcome.reason
-                    if ckpt is not None:
-                        ckpt.mark_done(key, {
+                else:
+                    outcome = next(outcomes)
+                    if not outcome.ok:
+                        failure = {
                             "status": outcome.status,
                             "reason": outcome.reason,
                             "error": outcome.error,
-                        })
-                    if verbose:
-                        print(
-                            f"{key}: FAILED ({outcome.reason})",
-                            flush=True,
-                        )
-                    continue
-                cell = outcome.value
-                if ckpt is not None:
-                    ckpt.mark_done(key, cell)
-            cubes_p = cell["picola"]
-            cubes_n = cell["nova"]
-            total_p += cubes_p
-            total_n += cubes_n
-            wins_p += cubes_p < cubes_n
-            wins_n += cubes_n < cubes_p
-            ties += cubes_p == cubes_n
-        outcome_row = SeedOutcome(
-            seed=seed,
-            total_picola=total_p,
-            total_nova=total_n,
-            picola_wins=wins_p,
-            nova_wins=wins_n,
-            ties=ties,
-        )
-        report.outcomes.append(outcome_row)
-        if verbose:
-            print(
-                f"seed {seed}: picola={total_p} nova={total_n}",
-                flush=True,
+                        }
+                        report.failures[(seed, name)] = outcome.reason
+                        if ckpt is not None:
+                            ckpt.mark_done(key, failure)
+                        if writer is not None:
+                            writer.emit_cell(key, failure)
+                        if verbose:
+                            print(
+                                f"{key}: FAILED ({outcome.reason})",
+                                flush=True,
+                            )
+                        continue
+                    cell = outcome.value
+                    if ckpt is not None:
+                        ckpt.mark_done(key, cell)
+                    if writer is not None:
+                        writer.emit_cell(key, cell)
+                cubes_p = cell["picola"]
+                cubes_n = cell["nova"]
+                total_p += cubes_p
+                total_n += cubes_n
+                wins_p += cubes_p < cubes_n
+                wins_n += cubes_n < cubes_p
+                ties += cubes_p == cubes_n
+                completed += 1
+            if attempted == 0:
+                # every cell of this seed belongs to another shard
+                continue
+            if completed == 0:
+                # every attempted cell failed: an all-zero SeedOutcome
+                # would smuggle a fake 0.0 nova_overhead into
+                # mean_overhead()/overhead_stddev()
+                report.skipped_seeds.append(seed)
+                if verbose:
+                    print(
+                        f"seed {seed}: skipped (no completed cells)",
+                        flush=True,
+                    )
+                continue
+            outcome_row = SeedOutcome(
+                seed=seed,
+                total_picola=total_p,
+                total_nova=total_n,
+                picola_wins=wins_p,
+                nova_wins=wins_n,
+                ties=ties,
             )
+            report.outcomes.append(outcome_row)
+            if verbose:
+                print(
+                    f"seed {seed}: picola={total_p} nova={total_n}",
+                    flush=True,
+                )
+    finally:
+        if writer is not None:
+            writer.close()
     return report

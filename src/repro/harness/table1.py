@@ -35,6 +35,7 @@ from ..runtime.checkpoint import resumable
 from ..solvers import get_solver
 from .parallel import Unit, run_units
 from .report import render_table
+from .shard import ShardSpec, StreamWriter, build_meta, resolve_shard
 
 __all__ = ["Table1Row", "Table1Report", "run_table1", "QUICK_FSMS"]
 
@@ -358,6 +359,8 @@ def run_table1(
     checkpoint: Optional[Union[str, pathlib.Path, Checkpoint]] = None,
     jobs: int = 1,
     retry_failed: bool = False,
+    shard: Optional[Union[str, ShardSpec]] = None,
+    stream: Optional[Union[str, pathlib.Path]] = None,
 ) -> Table1Report:
     """Regenerate Table I over the given FSM list (default: all rows).
 
@@ -370,19 +373,45 @@ def run_table1(
     to re-run.  ``jobs`` fans rows out to worker processes
     (0 = all cores) with results merged in submission order, so the
     report is identical to a serial run.
+
+    ``shard`` (``"K/N"`` or a :class:`ShardSpec`) restricts the run to
+    its deterministic slice of the row list so N hosts can split one
+    table; the checkpoint then carries a self-describing shard meta
+    block and ``picola merge`` recombines the N files into the full
+    report.  ``stream`` appends one JSON line per completed row to a
+    results file as it finishes.
     """
     if fsms is None:
         fsms = TABLE1_FSMS
+    spec = resolve_shard(shard)
+    all_names = list(fsms)
+    meta: Optional[Dict[str, Any]] = None
+    if spec is not None or stream is not None:
+        meta = build_meta(
+            "table1", all_names,
+            {
+                "include_enc": include_enc, "enc_budget": enc_budget,
+                "seed": seed, "timeout": timeout,
+            },
+            spec,
+        )
+    names = spec.partition(all_names) if spec is not None else all_names
     ckpt: Optional[Checkpoint] = None
     if checkpoint is not None:
         ckpt = (
             checkpoint if isinstance(checkpoint, Checkpoint)
-            else Checkpoint(checkpoint, experiment="table1")
+            else Checkpoint(
+                checkpoint, experiment="table1",
+                meta=meta if spec is not None else None,
+            )
         )
+    writer = (
+        StreamWriter(stream, meta) if stream is not None else None
+    )
     report = Table1Report()
     resumed: Dict[str, Any] = {}
     units: List[Unit] = []
-    for name in fsms:
+    for name in names:
         payload = resumable(ckpt, name, retry_failed)
         if payload is not None:
             resumed[name] = payload
@@ -395,33 +424,43 @@ def run_table1(
                 ),
             ))
     outcomes = run_units(units, jobs=jobs)
-    for name in fsms:
-        if name in resumed:
-            row = Table1Row.from_dict(resumed[name])
-            report.rows.append(row)
-            if verbose:
-                print(f"{name}: resumed from checkpoint", flush=True)
-            continue
-        outcome = next(outcomes)
-        if outcome.ok:
-            row = outcome.value
-        else:
-            row = Table1Row(
-                fsm=name, status=outcome.status, error=outcome.error
-            )
-        report.rows.append(row)
-        if ckpt is not None:
-            ckpt.mark_done(name, row.to_dict())
-        if verbose:
-            if row.ok:
-                print(
-                    f"{name}: const={row.n_constraints} "
-                    f"nova={row.cubes_nova} enc={row.cubes_enc} "
-                    f"picola={row.cubes_picola}", flush=True,
-                )
+    try:
+        for name in names:
+            if name in resumed:
+                row = Table1Row.from_dict(resumed[name])
+                report.rows.append(row)
+                if writer is not None:
+                    writer.emit_cell(name, row.to_dict(), resumed=True)
+                if verbose:
+                    print(
+                        f"{name}: resumed from checkpoint", flush=True
+                    )
+                continue
+            outcome = next(outcomes)
+            if outcome.ok:
+                row = outcome.value
             else:
-                print(
-                    f"{name}: FAILED ({row.failure_reason})",
-                    flush=True,
+                row = Table1Row(
+                    fsm=name, status=outcome.status, error=outcome.error
                 )
+            report.rows.append(row)
+            if ckpt is not None:
+                ckpt.mark_done(name, row.to_dict())
+            if writer is not None:
+                writer.emit_cell(name, row.to_dict())
+            if verbose:
+                if row.ok:
+                    print(
+                        f"{name}: const={row.n_constraints} "
+                        f"nova={row.cubes_nova} enc={row.cubes_enc} "
+                        f"picola={row.cubes_picola}", flush=True,
+                    )
+                else:
+                    print(
+                        f"{name}: FAILED ({row.failure_reason})",
+                        flush=True,
+                    )
+    finally:
+        if writer is not None:
+            writer.close()
     return report

@@ -26,6 +26,7 @@ from ..runtime.checkpoint import resumable
 from ..stateassign import assign_states
 from .parallel import Unit, run_units
 from .report import render_table
+from .shard import ShardSpec, StreamWriter, build_meta, resolve_shard
 
 __all__ = ["Table2Row", "Table2Report", "run_table2", "QUICK_FSMS2"]
 
@@ -225,6 +226,8 @@ def run_table2(
     checkpoint: Optional[Union[str, pathlib.Path, Checkpoint]] = None,
     jobs: int = 1,
     retry_failed: bool = False,
+    shard: Optional[Union[str, ShardSpec]] = None,
+    stream: Optional[Union[str, pathlib.Path]] = None,
 ) -> Table2Report:
     """Regenerate Table II over the given FSM list (default: all rows).
 
@@ -232,20 +235,39 @@ def run_table2(
     renders a ``TIMEOUT`` cell); ``checkpoint`` makes the run
     resumable after a kill, failed rows included (``retry_failed``
     re-runs them).  ``jobs`` parallelizes rows over worker processes
-    with deterministic submission-order merging.
+    with deterministic submission-order merging.  ``shard`` (``K/N``)
+    runs only this host's slice of the row list, stamping the
+    checkpoint with a shard meta block for ``picola merge``;
+    ``stream`` appends one JSON line per completed row.
     """
     if fsms is None:
         fsms = TABLE2_FSMS
+    spec = resolve_shard(shard)
+    all_names = list(fsms)
+    meta: Optional[Dict[str, Any]] = None
+    if spec is not None or stream is not None:
+        meta = build_meta(
+            "table2", all_names,
+            {"seed": seed, "timeout": timeout},
+            spec,
+        )
+    names = spec.partition(all_names) if spec is not None else all_names
     ckpt: Optional[Checkpoint] = None
     if checkpoint is not None:
         ckpt = (
             checkpoint if isinstance(checkpoint, Checkpoint)
-            else Checkpoint(checkpoint, experiment="table2")
+            else Checkpoint(
+                checkpoint, experiment="table2",
+                meta=meta if spec is not None else None,
+            )
         )
+    writer = (
+        StreamWriter(stream, meta) if stream is not None else None
+    )
     report = Table2Report()
     resumed: Dict[str, Any] = {}
     units: List[Unit] = []
-    for name in fsms:
+    for name in names:
         payload = resumable(ckpt, name, retry_failed)
         if payload is not None:
             resumed[name] = payload
@@ -255,34 +277,45 @@ def run_table2(
                 kwargs=dict(seed=seed, timeout=timeout),
             ))
     outcomes = run_units(units, jobs=jobs)
-    for name in fsms:
-        if name in resumed:
-            report.rows.append(Table2Row.from_dict(resumed[name]))
-            if verbose:
-                print(f"{name}: resumed from checkpoint", flush=True)
-            continue
-        outcome = next(outcomes)
-        if outcome.ok:
-            row = outcome.value
-        else:
-            row = Table2Row(
-                fsm=name, status=outcome.status, error=outcome.error
-            )
-        report.rows.append(row)
-        if ckpt is not None:
-            ckpt.mark_done(name, row.to_dict())
-        if verbose:
-            if row.ok:
-                print(
-                    f"{name}: " + " ".join(
-                        f"{m}={row.sizes.get(m)}"
-                        for m in TABLE2_METHODS
-                    ),
-                    flush=True,
-                )
+    try:
+        for name in names:
+            if name in resumed:
+                row = Table2Row.from_dict(resumed[name])
+                report.rows.append(row)
+                if writer is not None:
+                    writer.emit_cell(name, row.to_dict(), resumed=True)
+                if verbose:
+                    print(
+                        f"{name}: resumed from checkpoint", flush=True
+                    )
+                continue
+            outcome = next(outcomes)
+            if outcome.ok:
+                row = outcome.value
             else:
-                print(
-                    f"{name}: FAILED ({row.failure_reason})",
-                    flush=True,
+                row = Table2Row(
+                    fsm=name, status=outcome.status, error=outcome.error
                 )
+            report.rows.append(row)
+            if ckpt is not None:
+                ckpt.mark_done(name, row.to_dict())
+            if writer is not None:
+                writer.emit_cell(name, row.to_dict())
+            if verbose:
+                if row.ok:
+                    print(
+                        f"{name}: " + " ".join(
+                            f"{m}={row.sizes.get(m)}"
+                            for m in TABLE2_METHODS
+                        ),
+                        flush=True,
+                    )
+                else:
+                    print(
+                        f"{name}: FAILED ({row.failure_reason})",
+                        flush=True,
+                    )
+    finally:
+        if writer is not None:
+            writer.close()
     return report

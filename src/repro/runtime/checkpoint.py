@@ -18,6 +18,14 @@ Failed units are checkpointed too (their payload records a non-``ok``
 ``status``), so a deterministically failing benchmark is not re-run on
 every ``--resume``; :func:`resumable` implements the shared
 skip-or-rerun decision, including the opt-in ``--retry-failed`` path.
+
+Sharded runs (``--shard K/N``) additionally stamp a ``meta`` object —
+schema version, shard spec, the full ordered unit universe and the
+experiment parameters — making the file *self-describing*: ``picola
+merge`` can validate that independent shard checkpoints belong to the
+same experiment run and rebuild the combined report from them.  A
+resume whose freshly computed meta disagrees with the on-disk one is
+refused, so two hosts cannot silently mix incompatible shard specs.
 """
 
 from __future__ import annotations
@@ -41,12 +49,31 @@ class Checkpoint:
         self,
         path: Union[str, pathlib.Path],
         experiment: Optional[str] = None,
+        meta: Optional[Dict[str, Any]] = None,
     ) -> None:
-        self.path = pathlib.Path(path)
+        self.path: Optional[pathlib.Path] = pathlib.Path(path)
         self.experiment = experiment
+        self.meta = meta
         self._completed: Dict[str, Any] = {}
         if self.path.exists():
             self._load()
+
+    @classmethod
+    def in_memory(
+        cls,
+        experiment: str,
+        completed: Dict[str, Any],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> "Checkpoint":
+        """A read-only checkpoint that never touches disk — the merge
+        path uses it to replay combined shard results through the
+        drivers' resume loops."""
+        ckpt = cls.__new__(cls)
+        ckpt.path = None
+        ckpt.experiment = experiment
+        ckpt.meta = meta
+        ckpt._completed = dict(completed)
+        return ckpt
 
     def _load(self) -> None:
         try:
@@ -75,6 +102,25 @@ class Checkpoint:
             )
         if self.experiment is None:
             self.experiment = recorded
+        recorded_meta = data.get("meta")
+        if recorded_meta is not None and not isinstance(
+            recorded_meta, dict
+        ):
+            raise CheckpointError(f"{self.path}: bad 'meta' object")
+        if self.meta is not None and recorded_meta is not None:
+            if self.meta != recorded_meta:
+                raise CheckpointError(
+                    f"{self.path} was written for a different run "
+                    "spec (shard/units/params differ); refusing to "
+                    "mix incompatible shard checkpoints"
+                )
+        elif self.meta is not None and recorded_meta is None:
+            raise CheckpointError(
+                f"{self.path} is not a shard checkpoint (no meta); "
+                "refusing to resume a sharded run from it"
+            )
+        elif recorded_meta is not None:
+            self.meta = recorded_meta
         completed = data.get("completed", {})
         if not isinstance(completed, dict):
             raise CheckpointError(f"{self.path}: bad 'completed' map")
@@ -105,10 +151,14 @@ class Checkpoint:
 
     def clear(self) -> None:
         self._completed.clear()
-        if self.path.exists():
+        if self.path is not None and self.path.exists():
             self.path.unlink()
 
     def _flush(self) -> None:
+        if self.path is None:
+            raise CheckpointError(
+                "in-memory checkpoint is read-only (merge replay)"
+            )
         if self.experiment is None:
             raise CheckpointError(
                 f"refusing to write {self.path} without an "
@@ -120,6 +170,8 @@ class Checkpoint:
             "experiment": self.experiment,
             "completed": self._completed,
         }
+        if self.meta is not None:
+            data["meta"] = self.meta
         tmp = self.path.with_name(self.path.name + ".tmp")
         tmp.parent.mkdir(parents=True, exist_ok=True)
         tmp.write_text(json.dumps(data, indent=2, sort_keys=True))

@@ -36,6 +36,7 @@ QoS and robustness:
 from __future__ import annotations
 
 import json
+import math
 import queue
 import threading
 import time
@@ -114,6 +115,23 @@ class ServiceState:
     def in_flight(self) -> int:
         with self._lock:
             return self._in_flight
+
+    def retry_after(self) -> int:
+        """Seconds a shed client should wait before retrying.
+
+        Derived from the actual backlog rather than hardcoded: the
+        in-flight requests drain in batches of ``batch_max``, each
+        batch aggregating for up to ``batch_wait`` seconds, so the
+        queue needs roughly ``ceil(in_flight / batch_max) *
+        batch_wait`` seconds to make room.  Clamped to >= 1 (the
+        smallest useful Retry-After) and rounded up to whole seconds
+        as the header requires.
+        """
+        config = self.config
+        with self._lock:
+            in_flight = self._in_flight
+        batches = math.ceil(in_flight / config.batch_max)
+        return max(1, math.ceil(batches * config.batch_wait))
 
     def stats(self) -> Dict[str, Any]:
         # one lock-consistent snapshot: in_flight and rejected move
@@ -343,7 +361,7 @@ class _Handler(BaseHTTPRequestHandler):
                 429,
                 "overloaded",
                 "queue limit reached; retry later",
-                {"Retry-After": "1"},
+                {"Retry-After": str(self.state.retry_after())},
             )
             return
         try:
@@ -384,7 +402,7 @@ class _Handler(BaseHTTPRequestHandler):
                 429,
                 "overloaded",
                 f"batch of {len(requests)} exceeds free queue slots",
-                {"Retry-After": "1"},
+                {"Retry-After": str(self.state.retry_after())},
             )
             return
         try:

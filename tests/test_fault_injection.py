@@ -137,6 +137,29 @@ class TestSweepDegradation:
         data = json.loads(to_json(report))
         assert data["failures"] == {"0/ex3": "timeout"}
 
+    def test_seed_with_no_completed_cells_is_excluded(self):
+        """A seed every one of whose cells failed must not appear as
+        an all-zero outcome row: that row's fake 0.0 nova_overhead
+        would drag mean_overhead() toward zero and inflate
+        overhead_stddev()."""
+        with faults.inject(
+            "sweep.benchmark", SolverTimeout, key="0/lion9"
+        ), faults.inject(
+            "sweep.benchmark", SolverTimeout, key="0/ex3"
+        ):
+            report = run_seed_sweep(["lion9", "ex3"], seeds=(0, 1))
+        # seed 0 lost both cells; seed 1 completed normally
+        assert report.skipped_seeds == [0]
+        assert [o.seed for o in report.outcomes] == [1]
+        assert len(report.failures) == 2
+        good = report.outcomes[0].nova_overhead
+        assert report.mean_overhead() == pytest.approx(good)
+        assert report.overhead_stddev() == 0.0  # one sample, no spread
+        assert "excluded from the aggregate" in report.render()
+        data = json.loads(to_json(report))
+        assert data["skipped_seeds"] == [0]
+        assert data["summary"]["skipped_seeds"] == 1
+
 
 class TestCheckpointResume:
     def test_table1_resume_skips_completed_rows(self, tmp_path):

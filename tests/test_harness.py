@@ -169,6 +169,24 @@ class TestSerialize:
         assert data["rows"][0]["sizes"]["picola"] > 0
         assert "totals" in data["summary"]
 
+    def test_table2_totals_aggregate_all_ok_rows(self):
+        """Regression: summary totals used to take the method set
+        from only the *first* ok row, so methods that row lacked
+        (degraded resume payloads, sharded slices) vanished from the
+        totals even when later rows reported them."""
+        from repro.harness.serialize import to_dict
+        from repro.harness.table2 import Table2Report, Table2Row
+
+        report = Table2Report(rows=[
+            Table2Row(fsm="a", sizes={"nova_ih": 10}),
+            Table2Row(
+                fsm="b",
+                sizes={"nova_ih": 5, "nova_ioh": 7, "picola": 4},
+            ),
+        ])
+        totals = to_dict(report)["summary"]["totals"]
+        assert totals == {"nova_ih": 15, "nova_ioh": 7, "picola": 4}
+
     def test_ablation_json(self):
         from repro.harness import run_ablation
         from repro.harness.serialize import to_dict

@@ -249,6 +249,52 @@ class TestBackpressureOverHttp:
             srv.server_close()
             thread.join(timeout=5.0)
 
+    def test_retry_after_reflects_queue_depth(self):
+        """The 429 Retry-After header is derived from the backlog
+        (batches-to-drain x batch_wait), not hardcoded to 1."""
+        srv = make_server(
+            ServerConfig(
+                port=0, jobs=1, queue_limit=2,
+                batch_max=1, batch_wait=5.0,
+            )
+        )
+        thread = threading.Thread(
+            target=srv.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            # two held slots = two one-request batches of up to 5 s
+            # aggregation each ahead of a retrying client
+            assert srv.state.try_acquire(2)
+            request = urllib.request.Request(
+                srv.url + "/v1/encode",
+                data=json.dumps(ENCODE_PAYLOAD).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(request, timeout=30)
+            assert info.value.code == 429
+            assert info.value.headers["Retry-After"] == "10"
+            # the batch endpoint derives the same header
+            request = urllib.request.Request(
+                srv.url + "/v1/batch",
+                data=json.dumps(
+                    {"requests": [ENCODE_PAYLOAD]}
+                ).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(request, timeout=30)
+            assert info.value.code == 429
+            assert info.value.headers["Retry-After"] == "10"
+        finally:
+            srv.state.release(2)
+            srv.shutdown()
+            srv.server_close()
+            thread.join(timeout=5.0)
+
 
 class TestServerObservability:
     def test_requests_traced_through_daemon(self):
@@ -330,3 +376,28 @@ class TestServeState:
 
     def test_state_is_a_service_state(self, server):
         assert isinstance(server.state, ServiceState)
+
+    def test_retry_after_derivation(self):
+        """An idle queue advises 1 s; a full one advises the time
+        its batches need to drain, rounded up to whole seconds."""
+        state = ServiceState(
+            ServerConfig(
+                queue_limit=64, batch_max=16, batch_wait=2.0
+            )
+        )
+        assert state.retry_after() == 1  # idle: smallest useful wait
+        state.try_acquire(64)
+        # 64 in flight / 16 per batch = 4 batches x 2 s aggregation
+        assert state.retry_after() == 8
+        state.release(64)
+        state.try_acquire(1)
+        # a partial batch still costs one aggregation window
+        assert state.retry_after() == 2
+        # sub-second estimates round up, never advise 0
+        fast = ServiceState(
+            ServerConfig(
+                queue_limit=64, batch_max=16, batch_wait=0.01
+            )
+        )
+        fast.try_acquire(64)
+        assert fast.retry_after() == 1
